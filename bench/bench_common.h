@@ -1,0 +1,109 @@
+// Shared helpers for the paper-reproduction bench binaries. Each bench is
+// a standalone no-argument executable that prints the rows/series of one
+// table or figure from the paper (see DESIGN.md §3 for the index).
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "baselines/alpa_like.h"
+#include "baselines/expert_plans.h"
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "sim/simulator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace tap::bench {
+
+struct Workload {
+  Graph graph;
+  ir::TapGraph tg;
+
+  explicit Workload(Graph g) : graph(std::move(g)), tg(ir::lower(graph)) {}
+};
+
+inline Workload t5_workload(int layers, std::int64_t batch = 16) {
+  models::TransformerConfig cfg = models::t5_with_layers(layers);
+  cfg.batch = batch;
+  return Workload(models::build_transformer(cfg));
+}
+
+inline Workload resnet_workload(std::int64_t classes,
+                                std::int64_t batch = 1024) {
+  models::ResNetConfig cfg = models::resnet50(classes);
+  cfg.batch = batch;
+  return Workload(models::build_resnet(cfg));
+}
+
+/// Simulated iteration time of a named expert plan ("DP"/"Megatron"/
+/// "MHA"/"FFN") on `cluster`.
+inline sim::StepBreakdown simulate_expert(const Workload& w,
+                                          const std::string& plan_name,
+                                          const cost::ClusterSpec& cluster,
+                                          const sim::SimOptions& opts = {}) {
+  auto plan =
+      baselines::named_expert_plan(plan_name, w.tg, cluster.world());
+  auto routed = sharding::route_plan(w.tg, plan);
+  return sim::simulate_step(w.tg, routed, cluster.world(), cluster, opts);
+}
+
+/// Simulated iteration time of one Alpa-like candidate: the intra-op plan
+/// runs on a tensor-parallel group of world/stages devices; the pipeline
+/// adds the (stages-1)/M bubble over M=8 microbatches.
+inline double simulate_alpa_plan(const ir::TapGraph& op_tg,
+                                 const sharding::ShardingPlan& plan,
+                                 int stages,
+                                 const cost::ClusterSpec& cluster) {
+  auto routed = sharding::route_plan(op_tg, plan);
+  if (!routed.valid) return 0.0;
+  sim::StepBreakdown b =
+      sim::simulate_step(op_tg, routed, plan.num_shards, cluster);
+  constexpr double kMicrobatches = 8.0;
+  return b.iteration_s * (1.0 + (stages - 1) / kMicrobatches);
+}
+
+/// min/mean/max simulated iteration time over every candidate the
+/// Alpa-like search evaluated (the paper's blue variance band), plus the
+/// time of the plan it actually selected.
+struct AlpaBand {
+  double best = 0.0;
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+inline AlpaBand simulate_alpa_band(const Graph& g,
+                                   const baselines::BaselineSearchResult& r,
+                                   const cost::ClusterSpec& cluster) {
+  AlpaBand band;
+  if (!r.found) return band;
+  ir::LoweringOptions lop;
+  lop.cluster_by_scope = false;
+  ir::TapGraph op_tg = ir::lower(g, lop);
+  band.best = simulate_alpa_plan(op_tg, r.best_plan, r.best_stages, cluster);
+  band.min = 1e30;
+  int n = 0;
+  for (const auto& cand : r.evaluated) {
+    double t = simulate_alpa_plan(op_tg, cand.plan, cand.stages, cluster);
+    if (t <= 0.0) continue;
+    band.min = std::min(band.min, t);
+    band.max = std::max(band.max, t);
+    band.mean += t;
+    ++n;
+  }
+  if (n > 0) band.mean /= n;
+  return band;
+}
+
+inline std::string ms(double seconds) {
+  return util::fmt("%.1f", seconds * 1e3);
+}
+
+inline void header(const std::string& what, const std::string& paper_ref) {
+  std::cout << "=== " << what << " (" << paper_ref << ") ===\n";
+}
+
+}  // namespace tap::bench

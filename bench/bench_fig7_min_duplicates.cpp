@@ -1,0 +1,45 @@
+// Fig. 7: tuning minDuplicates for the graph pruning algorithm.
+// Reports the number of unique subgraphs found and the pruning runtime for
+// T5-large and a 152-layer 100K-class ResNet across thresholds. The
+// paper's findings: threshold 1 = unpruned (thousands of nodes); from 2
+// on, the count collapses and stays stable; pruning takes seconds for
+// T5-large and well under a second for the ResNet.
+#include "bench_common.h"
+#include "pruning/prune.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace tap;
+  bench::header("Fig. 7 — minDuplicates sweep", "paper Fig. 7");
+
+  struct Row {
+    const char* name;
+    Graph graph;
+  };
+  models::ResNetConfig rn = models::resnet152(100'000);
+  Row rows[] = {
+      {"T5-large", models::build_transformer(models::t5_large())},
+      {"ResNet152-100K", models::build_resnet(rn)},
+  };
+
+  util::Table table({"model", "minDuplicates", "unique subgraphs",
+                     "max fold", "prune ms"});
+  for (Row& row : rows) {
+    ir::TapGraph tg = ir::lower(row.graph);
+    for (int t : {1, 2, 3, 4, 6, 8, 12, 16}) {
+      pruning::PruneOptions opts;
+      opts.min_duplicate = t;
+      util::Stopwatch sw;
+      pruning::PruneResult pr = pruning::prune_graph(tg, opts);
+      table.add_row({row.name, std::to_string(t),
+                     std::to_string(pr.unique_subgraphs()),
+                     std::to_string(pr.max_multiplicity()),
+                     util::fmt("%.1f", sw.elapsed_millis())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThreshold 1 leaves the graph unpruned; thresholds 2..16 "
+               "find a stable handful of unique blocks — the threshold is "
+               "robust (paper: \"insensitive to different thresholds\").\n";
+  return 0;
+}

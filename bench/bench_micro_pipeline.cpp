@@ -1,0 +1,146 @@
+// Google-benchmark micro benches for the TAP pipeline stages: lowering,
+// pruning, per-candidate subgraph routing, full-graph routing, cost
+// queries, and one simulated training step. These quantify the per-stage
+// costs behind Table 2's complexity rows.
+#include <benchmark/benchmark.h>
+
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "pruning/prune.h"
+#include "rewrite/rewrite.h"
+#include "runtime/autodiff.h"
+#include "runtime/spmd_interpreter.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace tap;
+
+const Graph& t5_graph(int layers) {
+  static std::map<int, Graph> cache;
+  auto it = cache.find(layers);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(layers, models::build_transformer(
+                                  models::t5_with_layers(layers)))
+             .first;
+  }
+  return it->second;
+}
+
+const ir::TapGraph& t5_ir(int layers) {
+  static std::map<int, ir::TapGraph> cache;
+  auto it = cache.find(layers);
+  if (it == cache.end()) {
+    it = cache.emplace(layers, ir::lower(t5_graph(layers))).first;
+  }
+  return it->second;
+}
+
+void BM_Lowering(benchmark::State& state) {
+  const Graph& g = t5_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::lower(g));
+  }
+}
+BENCHMARK(BM_Lowering)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_Pruning(benchmark::State& state) {
+  const ir::TapGraph& tg = t5_ir(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruning::prune_graph(tg));
+  }
+}
+BENCHMARK(BM_Pruning)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_RouteSubgraph(benchmark::State& state) {
+  // The per-candidate evaluation: must be independent of model depth.
+  const ir::TapGraph& tg = t5_ir(static_cast<int>(state.range(0)));
+  pruning::PruneResult pr = pruning::prune_graph(tg);
+  const pruning::SubgraphFamily* block = nullptr;
+  for (const auto& f : pr.families)
+    if (f.representative.find("encoder/block_0") != std::string::npos)
+      block = &f;
+  sharding::PatternTable table(tg, 8);
+  sharding::ShardingPlan plan = sharding::default_plan(tg, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharding::route_subgraph(
+        tg, plan, block->member_nodes, sharding::ShardSpec::replicate(),
+        &table));
+  }
+}
+BENCHMARK(BM_RouteSubgraph)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_RouteFullGraph(benchmark::State& state) {
+  const ir::TapGraph& tg = t5_ir(static_cast<int>(state.range(0)));
+  sharding::PatternTable table(tg, 8);
+  sharding::ShardingPlan plan = sharding::default_plan(tg, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharding::route_plan(tg, plan, &table));
+  }
+}
+BENCHMARK(BM_RouteFullGraph)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_CommCost(benchmark::State& state) {
+  const ir::TapGraph& tg = t5_ir(8);
+  auto routed = sharding::route_plan(tg, sharding::default_plan(tg, 8));
+  cost::ClusterSpec cluster;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost::comm_cost(routed, 8, cluster));
+  }
+}
+BENCHMARK(BM_CommCost);
+
+void BM_AutoParallel(benchmark::State& state) {
+  const ir::TapGraph& tg = t5_ir(static_cast<int>(state.range(0)));
+  core::TapOptions opts;
+  opts.num_shards = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::auto_parallel(tg, opts));
+  }
+}
+BENCHMARK(BM_AutoParallel)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateStep(benchmark::State& state) {
+  const ir::TapGraph& tg = t5_ir(8);
+  auto routed = sharding::route_plan(tg, sharding::default_plan(tg, 16));
+  cost::ClusterSpec cluster = cost::ClusterSpec::v100_cluster(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_step(tg, routed, 16, cluster));
+  }
+}
+BENCHMARK(BM_SimulateStep);
+
+void BM_RewriteGraph(benchmark::State& state) {
+  const Graph& g = t5_graph(8);
+  const ir::TapGraph& tg = t5_ir(8);
+  auto routed = sharding::route_plan(tg, sharding::default_plan(tg, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::rewrite_graph(g, tg, routed, 8));
+  }
+}
+BENCHMARK(BM_RewriteGraph)->Unit(benchmark::kMillisecond);
+
+void BM_AutodiffTinyTransformer(benchmark::State& state) {
+  models::TransformerConfig cfg = models::t5_with_layers(1);
+  cfg.name = "bench_tiny";
+  cfg.encoder_decoder = false;
+  cfg.d_model = 32;
+  cfg.d_ff = 64;
+  cfg.num_heads = 2;
+  cfg.vocab = 64;
+  cfg.batch = 2;
+  cfg.seq_len = 16;
+  static Graph g = models::build_transformer(cfg);
+  runtime::GradientExecutor exec(g);
+  auto feeds = exec.make_feeds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.gradients(feeds));
+  }
+}
+BENCHMARK(BM_AutodiffTinyTransformer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

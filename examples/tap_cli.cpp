@@ -1,0 +1,235 @@
+// tap_cli — command-line front-end over the whole library:
+//
+//   tap_cli [--model t5|bert|gpt3|resnet50|resnet152|moe]
+//           [--layers N] [--classes N] [--batch N]
+//           [--nodes M] [--gpus N]            cluster S(M, N)
+//           [--mesh DPxTP | --mesh auto]      device mesh (default auto)
+//           [--pipeline K]                    pipeline stages (§4.8)
+//           [--amp] [--recompute] [--zero1]   training techniques (§4.8)
+//           [--xla]                           fusion pass (Fig. 8)
+//           [--save-plan FILE] [--load-plan FILE]
+//           [--trace FILE]                    chrome://tracing JSON
+//           [--viz]                           print the plan (Fig. 14 style)
+//
+// With no arguments: plans T5 with 8+8 layers for 2x8 V100s with an
+// automatic mesh sweep and prints the summary.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "core/tap.h"
+#include "core/visualize.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "sim/simulator.h"
+#include "util/strings.h"
+
+namespace {
+
+struct Args {
+  std::string model = "t5";
+  int layers = 8;
+  std::int64_t classes = 1000;
+  std::int64_t batch = 16;
+  int nodes = 2;
+  int gpus = 8;
+  std::string mesh = "auto";
+  int pipeline = 1;
+  bool amp = false, recompute = false, zero1 = false, xla = false, viz = false;
+  std::string save_plan, load_plan, trace_path;
+};
+
+bool parse(int argc, char** argv, Args* a) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* f = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(f, "--model") && (v = need_value(i))) {
+      a->model = v;
+    } else if (!std::strcmp(f, "--layers") && (v = need_value(i))) {
+      a->layers = std::atoi(v);
+    } else if (!std::strcmp(f, "--classes") && (v = need_value(i))) {
+      a->classes = std::atoll(v);
+    } else if (!std::strcmp(f, "--batch") && (v = need_value(i))) {
+      a->batch = std::atoll(v);
+    } else if (!std::strcmp(f, "--nodes") && (v = need_value(i))) {
+      a->nodes = std::atoi(v);
+    } else if (!std::strcmp(f, "--gpus") && (v = need_value(i))) {
+      a->gpus = std::atoi(v);
+    } else if (!std::strcmp(f, "--mesh") && (v = need_value(i))) {
+      a->mesh = v;
+    } else if (!std::strcmp(f, "--pipeline") && (v = need_value(i))) {
+      a->pipeline = std::atoi(v);
+    } else if (!std::strcmp(f, "--amp")) {
+      a->amp = true;
+    } else if (!std::strcmp(f, "--recompute")) {
+      a->recompute = true;
+    } else if (!std::strcmp(f, "--zero1")) {
+      a->zero1 = true;
+    } else if (!std::strcmp(f, "--xla")) {
+      a->xla = true;
+    } else if (!std::strcmp(f, "--viz")) {
+      a->viz = true;
+    } else if (!std::strcmp(f, "--save-plan") && (v = need_value(i))) {
+      a->save_plan = v;
+    } else if (!std::strcmp(f, "--load-plan") && (v = need_value(i))) {
+      a->load_plan = v;
+    } else if (!std::strcmp(f, "--trace") && (v = need_value(i))) {
+      a->trace_path = v;
+    } else {
+      std::cerr << "unknown flag: " << f << "\n";
+      return false;
+    }
+    if (v == nullptr && (!std::strcmp(f, "--model") ||
+                         !std::strcmp(f, "--layers"))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+tap::Graph build_model(const Args& a) {
+  using namespace tap::models;
+  if (a.model == "t5") {
+    TransformerConfig cfg = t5_with_layers(a.layers);
+    cfg.batch = a.batch;
+    return build_transformer(cfg);
+  }
+  if (a.model == "bert") {
+    TransformerConfig cfg = bert_large();
+    cfg.num_layers = a.layers;
+    cfg.batch = a.batch;
+    return build_transformer(cfg);
+  }
+  if (a.model == "gpt3") {
+    TransformerConfig cfg = gpt3();
+    cfg.num_layers = a.layers;
+    return build_transformer(cfg);
+  }
+  if (a.model == "resnet50" || a.model == "resnet152") {
+    ResNetConfig cfg = a.model == "resnet50" ? resnet50(a.classes)
+                                             : resnet152(a.classes);
+    cfg.batch = a.batch;
+    return build_resnet(cfg);
+  }
+  if (a.model == "moe") {
+    MoeConfig cfg = widenet();
+    cfg.num_layers = a.layers;
+    cfg.batch = a.batch;
+    return build_moe_transformer(cfg);
+  }
+  std::cerr << "unknown model '" << a.model << "', using t5\n";
+  return build_transformer(t5_with_layers(a.layers));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tap;
+  Args args;
+  if (!parse(argc, argv, &args)) return 2;
+
+  Graph model = build_model(args);
+  ir::TapGraph tg = ir::lower(model);
+  std::printf("model %s: %s params, %zu ops -> %zu GraphNodes\n",
+              model.name().c_str(),
+              util::human_count(static_cast<double>(model.total_params()))
+                  .c_str(),
+              model.num_nodes(), tg.num_nodes());
+
+  core::TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(args.nodes);
+  opts.cluster.gpus_per_node = args.gpus;
+
+  core::TapResult result;
+  if (!args.load_plan.empty()) {
+    std::ifstream in(args.load_plan);
+    if (!in) {
+      std::cerr << "cannot read " << args.load_plan << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    result.best_plan = core::plan_from_json(tg, buf.str());
+    result.routed = sharding::route_plan(tg, result.best_plan);
+    if (!result.routed.valid) {
+      std::cerr << "loaded plan does not route: " << result.routed.error
+                << "\n";
+      return 1;
+    }
+    result.cost = cost::comm_cost(result.routed,
+                                  result.best_plan.num_shards, opts.cluster);
+    std::printf("loaded plan from %s (mesh %s)\n", args.load_plan.c_str(),
+                result.best_plan.mesh().to_string().c_str());
+  } else if (args.pipeline > 1) {
+    opts.num_shards = opts.cluster.world();
+    core::PipelineOptions popts;
+    popts.stages = args.pipeline;
+    auto piped = core::auto_parallel_pipelined(tg, opts, popts);
+    result = std::move(piped.inner);
+    std::printf("pipeline: %d stages, bottleneck %.0f%%, bubble %.0f%%\n",
+                piped.stages, piped.bottleneck_fraction * 100.0,
+                piped.bubble_fraction * 100.0);
+  } else if (args.mesh == "auto") {
+    result = core::auto_parallel_best_mesh(tg, opts);
+  } else {
+    int dp = 1, tp = 1;
+    if (std::sscanf(args.mesh.c_str(), "%dx%d", &dp, &tp) != 2) {
+      std::cerr << "bad --mesh (want DPxTP or auto)\n";
+      return 2;
+    }
+    opts.dp_replicas = dp;
+    opts.num_shards = tp;
+    result = core::auto_parallel(tg, opts);
+  }
+
+  std::printf("plan: mesh %s, %lld candidates examined in %.1f ms, comm "
+              "cost %.2f ms/step\n",
+              result.best_plan.mesh().to_string().c_str(),
+              static_cast<long long>(result.candidate_plans),
+              result.search_seconds * 1e3, result.cost.total() * 1e3);
+
+  if (args.viz) {
+    std::cout << core::visualize_plan(tg, result.best_plan, result.pruning);
+  }
+
+  sim::SimOptions sopts;
+  sopts.xla_fusion = args.xla;
+  sopts.training.amp = args.amp;
+  sopts.training.recompute = args.recompute;
+  sopts.training.zero1 = args.zero1;
+  sim::Trace trace;
+  if (!args.trace_path.empty()) sopts.trace = &trace;
+
+  auto step = sim::simulate_step(tg, result.routed,
+                                 result.best_plan.num_shards, opts.cluster,
+                                 sopts);
+  std::printf("simulated: %.1f ms/iter (compute %.1f, comm %.1f busy / "
+              "%.1f exposed), %s per GPU\n",
+              step.iteration_s * 1e3, step.compute_s() * 1e3,
+              step.comm_s * 1e3, step.exposed_comm_s * 1e3,
+              util::human_bytes(static_cast<double>(step.memory.total()))
+                  .c_str());
+
+  if (!args.save_plan.empty()) {
+    std::ofstream out(args.save_plan);
+    out << core::plan_to_json(tg, result.best_plan);
+    std::printf("plan saved to %s\n", args.save_plan.c_str());
+  }
+  if (!args.trace_path.empty()) {
+    std::ofstream out(args.trace_path);
+    out << trace.to_chrome_json();
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                args.trace_path.c_str());
+  }
+  return 0;
+}

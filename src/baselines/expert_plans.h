@@ -1,0 +1,31 @@
+// Expert-engineered sharding plans (§6.4, Fig. 6, Fig. 14), expressed in
+// the SRC pattern vocabulary:
+//   * data_parallel  — replicate every weight, split the batch;
+//   * megatron       — Megatron-LM's transformer sharding: Q/K/V and FFN
+//                      intermediate column-split, attention output and FFN
+//                      output row-split (one forward AllReduce after the
+//                      attention block and one after the FFN block);
+//   * mha_only       — Megatron's attention sharding, FFN data parallel;
+//   * ffn_only       — Megatron's FFN sharding, attention data parallel —
+//                      the plan TAP discovers as best at 16 GPUs (§6.4.2).
+#pragma once
+
+#include <string>
+
+#include "sharding/plan.h"
+
+namespace tap::baselines {
+
+sharding::ShardingPlan data_parallel_plan(const ir::TapGraph& tg,
+                                          int num_shards);
+sharding::ShardingPlan megatron_plan(const ir::TapGraph& tg, int num_shards);
+sharding::ShardingPlan mha_only_plan(const ir::TapGraph& tg, int num_shards);
+sharding::ShardingPlan ffn_only_plan(const ir::TapGraph& tg, int num_shards);
+
+/// The four named plans above, keyed "DP"/"Megatron"/"MHA"/"FFN" (the bar
+/// labels of Fig. 6).
+sharding::ShardingPlan named_expert_plan(const std::string& name,
+                                         const ir::TapGraph& tg,
+                                         int num_shards);
+
+}  // namespace tap::baselines

@@ -1,0 +1,73 @@
+#include "baselines/flexflow_like.h"
+
+#include <cmath>
+
+#include "ir/lowering.h"
+#include "sharding/routing.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace tap::baselines {
+
+BaselineSearchResult flexflow_like_search(const Graph& g,
+                                          const cost::ClusterSpec& cluster,
+                                          const FlexFlowOptions& opts) {
+  util::Stopwatch sw;
+  util::Rng rng(opts.seed);
+  BaselineSearchResult result;
+
+  ir::LoweringOptions lop;
+  lop.cluster_by_scope = false;
+  ir::TapGraph tg = ir::lower(g, lop);
+  if (tg.num_nodes() == 0) return result;
+  std::vector<ir::GraphNodeId> weighted = tg.weight_nodes();
+  if (weighted.empty()) return result;
+
+  auto evaluate = [&](const sharding::ShardingPlan& p, double* c) {
+    result.ops_visited += static_cast<std::int64_t>(tg.num_nodes());
+    auto routed = sharding::route_plan(tg, p);
+    if (!routed.valid) return false;
+    ++result.cost_queries;
+    *c = cost::comm_cost(routed, opts.num_shards, cluster, opts.cost).total();
+    return true;
+  };
+
+  sharding::ShardingPlan current =
+      sharding::default_plan(tg, opts.num_shards);
+  double current_cost = 0.0;
+  if (!evaluate(current, &current_cost)) return result;
+  result.found = true;
+  result.best_plan = current;
+  result.best_cost = current_cost;
+  result.plan_costs.push_back(current_cost);
+  ++result.plans_evaluated;
+
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    sharding::ShardingPlan next = current;
+    ir::GraphNodeId id = weighted[rng.next_below(weighted.size())];
+    auto pats = sharding::patterns_for(tg, id, opts.num_shards);
+    next.choice[static_cast<std::size_t>(id)] =
+        static_cast<int>(rng.next_below(pats.size()));
+    double next_cost = 0.0;
+    if (!evaluate(next, &next_cost)) continue;
+    ++result.plans_evaluated;
+    result.plan_costs.push_back(next_cost);
+    if (next_cost < result.best_cost) {
+      result.best_cost = next_cost;
+      result.best_plan = next;
+    }
+    // Metropolis acceptance on relative cost.
+    const double delta =
+        (next_cost - current_cost) / std::max(current_cost, 1e-12);
+    if (delta <= 0.0 ||
+        rng.next_double() < std::exp(-delta / opts.temperature)) {
+      current = std::move(next);
+      current_cost = next_cost;
+    }
+  }
+
+  result.search_seconds = sw.elapsed_seconds();
+  return result;
+}
+
+}  // namespace tap::baselines

@@ -1,0 +1,53 @@
+// Pipeline-parallel composition (§4.8: "TAP may also be used with pipeline
+// parallelism through automatic or manual placements").
+//
+// The composition follows the standard hierarchy: the device world splits
+// into `stages` pipeline stages; each stage holds a contiguous slice of
+// the model (balanced by forward compute) and runs TAP's data/tensor plan
+// on its world/stages devices. Activations cross stage boundaries
+// point-to-point; M microbatches keep the pipeline full, leaving the
+// classic (stages-1)/M bubble.
+//
+// auto_parallel_pipelined derives the stage partition, runs the TAP search
+// once (the folded-block plan applies to every stage — that is the whole
+// point of subgraph pruning), and returns the per-iteration estimate.
+#pragma once
+
+#include "core/tap.h"
+
+namespace tap::core {
+
+struct PipelineOptions {
+  int stages = 1;
+  int microbatches = 8;
+};
+
+struct PipelineResult {
+  TapResult inner;  ///< the TAP plan each stage executes
+  int stages = 1;
+  int microbatches = 8;
+  /// Contiguous stage boundaries over the TapGraph's topological order
+  /// (stage i spans [cuts[i], cuts[i+1])).
+  std::vector<std::size_t> cuts;
+  /// Bottleneck stage's share of forward compute (1/stages = perfect).
+  double bottleneck_fraction = 1.0;
+  /// (stages-1)/M idle fraction.
+  double bubble_fraction = 0.0;
+  /// Bytes crossing each stage boundary per microbatch (activations).
+  std::vector<std::int64_t> boundary_bytes;
+};
+
+/// Plans `tg` for pipeline execution: balances stages by per-cluster
+/// forward compute, then runs auto_parallel with the per-stage device
+/// count (world / stages) as the tp group and opts.dp_replicas replicas.
+PipelineResult auto_parallel_pipelined(const ir::TapGraph& tg,
+                                       const TapOptions& opts,
+                                       const PipelineOptions& pipeline);
+
+/// Iteration-time estimate for a pipelined plan: simulate one stage-depth
+/// of the model at the stage group size, scaled by bottleneck balance and
+/// bubble. Exposed for the bench.
+double pipeline_iteration_estimate(const PipelineResult& r,
+                                   double whole_model_step_s);
+
+}  // namespace tap::core

@@ -1,0 +1,174 @@
+#include "core/serialize.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tap::core {
+
+namespace {
+
+/// Escapes the characters our names can legally contain (they are
+/// '/'-separated identifiers, but be safe about quotes/backslashes).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Minimal recursive-descent parser for the subset we emit.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    TAP_CHECK(pos_ < text_.size() && text_[pos_] == c)
+        << "plan JSON: expected '" << c << "' at offset " << pos_;
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out.push_back(c);
+    }
+    TAP_CHECK(pos_ < text_.size()) << "plan JSON: unterminated string";
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  long long int_value() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    TAP_CHECK(pos_ > start) << "plan JSON: expected integer at " << start;
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  void done() {
+    skip_ws();
+    TAP_CHECK_EQ(pos_, text_.size()) << "plan JSON: trailing content";
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string plan_to_json(const ir::TapGraph& tg,
+                         const sharding::ShardingPlan& plan) {
+  TAP_CHECK_EQ(plan.choice.size(), tg.num_nodes());
+  std::ostringstream os;
+  os << "{\n  \"mesh\": [" << plan.dp_replicas << ", " << plan.num_shards
+     << "],\n  \"assignments\": {\n";
+  bool first = true;
+  for (const auto& n : tg.nodes()) {
+    if (!n.has_weight()) continue;
+    auto pats = sharding::patterns_for(tg, n.id, plan.num_shards,
+                                       plan.dp_replicas);
+    int c = plan.choice[static_cast<std::size_t>(n.id)];
+    TAP_CHECK(c >= 0 && c < static_cast<int>(pats.size()))
+        << "plan has no valid pattern for '" << n.name << "'";
+    if (!first) os << ",\n";
+    first = false;
+    os << "    \"" << escape(n.name) << "\": \""
+       << escape(pats[static_cast<std::size_t>(c)].name) << "\"";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+sharding::ShardingPlan plan_from_json(const ir::TapGraph& tg,
+                                      const std::string& json) {
+  Parser p(json);
+  p.expect('{');
+
+  sharding::ShardingPlan plan;
+  bool have_mesh = false;
+  bool first_key = true;
+  while (true) {
+    if (!first_key && !p.try_consume(',')) break;
+    first_key = false;
+    std::string key = p.string_value();
+    p.expect(':');
+    if (key == "mesh") {
+      p.expect('[');
+      plan.dp_replicas = static_cast<int>(p.int_value());
+      p.expect(',');
+      plan.num_shards = static_cast<int>(p.int_value());
+      p.expect(']');
+      TAP_CHECK_GE(plan.dp_replicas, 1);
+      TAP_CHECK_GE(plan.num_shards, 1);
+      have_mesh = true;
+      plan.choice.assign(tg.num_nodes(), 0);
+    } else if (key == "assignments") {
+      TAP_CHECK(have_mesh) << "plan JSON: \"mesh\" must precede "
+                              "\"assignments\"";
+      p.expect('{');
+      bool first_entry = true;
+      while (true) {
+        if (first_entry ? p.try_consume('}') : !p.try_consume(',')) break;
+        first_entry = false;
+        std::string node = p.string_value();
+        p.expect(':');
+        std::string pattern = p.string_value();
+        ir::GraphNodeId id = tg.find(node);
+        TAP_CHECK(id != ir::kInvalidGraphNode)
+            << "plan references unknown GraphNode '" << node << "'";
+        auto pats = sharding::patterns_for(tg, id, plan.num_shards,
+                                           plan.dp_replicas);
+        bool resolved = false;
+        for (std::size_t i = 0; i < pats.size(); ++i) {
+          if (pats[i].name == pattern) {
+            plan.choice[static_cast<std::size_t>(id)] =
+                static_cast<int>(i);
+            resolved = true;
+          }
+        }
+        TAP_CHECK(resolved) << "pattern '" << pattern
+                            << "' not applicable to '" << node
+                            << "' under mesh " << plan.mesh().to_string();
+      }
+      if (first_entry) continue;  // consumed '}' of an empty object
+      p.expect('}');
+    } else {
+      TAP_CHECK(false) << "plan JSON: unknown key '" << key << "'";
+    }
+  }
+  p.expect('}');
+  p.done();
+  TAP_CHECK(have_mesh) << "plan JSON: missing \"mesh\"";
+  TAP_CHECK(!plan.choice.empty()) << "plan JSON: missing \"assignments\"";
+  return plan;
+}
+
+}  // namespace tap::core

@@ -1,0 +1,33 @@
+// Plan serialization: persist a derived sharding plan and re-apply it to a
+// freshly lowered graph. Searching once per architecture and shipping the
+// plan with the training job is the intended production workflow; plans
+// reference GraphNodes and patterns *by name*, so any identically-built
+// model accepts them regardless of internal ids.
+//
+// Format: a single JSON object,
+//   {
+//     "mesh": [dp, tp],
+//     "assignments": { "<graphnode name>": "<pattern name>", ... }
+//   }
+// Only weighted GraphNodes are listed (glue always follows). The parser
+// accepts exactly what the writer emits (plus arbitrary whitespace) and
+// throws CheckError on malformed input, unknown nodes, or patterns
+// inapplicable under the given mesh.
+#pragma once
+
+#include <string>
+
+#include "sharding/plan.h"
+
+namespace tap::core {
+
+/// Serializes `plan` against `tg`.
+std::string plan_to_json(const ir::TapGraph& tg,
+                         const sharding::ShardingPlan& plan);
+
+/// Parses a plan and resolves it against `tg`. Unlisted weighted nodes get
+/// pattern 0 (the data-parallel/replicate default).
+sharding::ShardingPlan plan_from_json(const ir::TapGraph& tg,
+                                      const std::string& json);
+
+}  // namespace tap::core

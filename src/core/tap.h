@@ -1,0 +1,64 @@
+// tap::auto_parallel — the end-to-end TAP pipeline (Fig. 5):
+//   ① lower the framework graph to the TAP IR (caller does this once),
+//   ② prune the search space with shared subgraphs (Algorithm 1),
+//   ③ enumerate candidate plans per unique subgraph (Algorithm 2),
+//   ④ validate each candidate by pattern routing over the subgraph only
+//      (Algorithm 3) and score it with the communication cost model,
+//   ⑤ assemble the per-family winners into the full plan, route it over
+//      the whole graph, and hand it to graph rewriting.
+//
+// The search statistics (candidates examined, nodes visited, cost queries,
+// wall time) back the complexity claims of Table 2 and the search-time
+// experiments of Figs. 9/10.
+#pragma once
+
+#include "cost/cost_model.h"
+#include "ir/lowering.h"
+#include "pruning/prune.h"
+#include "sharding/enumerate.h"
+#include "sharding/routing.h"
+
+namespace tap::core {
+
+struct TapOptions {
+  /// Tensor-parallel group size (mesh inner dimension).
+  int num_shards = 8;
+  /// Data-parallel replicas around each tp group (mesh outer dimension,
+  /// the paper's `mesh = [2, 8]` Example 1). dp x tp must equal the device
+  /// world you intend to use.
+  int dp_replicas = 1;
+  cost::ClusterSpec cluster = cost::ClusterSpec::v100_node();
+  pruning::PruneOptions prune;
+  cost::CostOptions cost;
+  /// Families whose Cartesian product exceeds this fall back to per-node
+  /// greedy selection. A T5 encoder block enumerates 3^6 = 729 exhaustive
+  /// candidates (§6.3.1); a decoder block (10 projections, 3^10) switches
+  /// to greedy, keeping the total "hundreds of plans" like the paper.
+  std::int64_t max_plans_per_family = 2000;
+};
+
+struct TapResult {
+  sharding::ShardingPlan best_plan;
+  sharding::RoutedPlan routed;  ///< full-graph routing of the best plan
+  cost::PlanCost cost;          ///< full-graph communication cost
+  pruning::PruneResult pruning;
+
+  // Search statistics (Table 2, Figs. 9/10).
+  std::int64_t candidate_plans = 0;
+  std::int64_t valid_plans = 0;
+  std::int64_t nodes_visited = 0;
+  std::int64_t cost_queries = 0;
+  double search_seconds = 0.0;
+};
+
+/// Derives the best tensor/data parallel plan for `tg` (Algorithm 2).
+TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts);
+
+/// Runs auto_parallel over every (dp, tp) factorization of
+/// `opts.cluster.world()` and returns the cheapest — the mesh sweep behind
+/// the paper's `tap.split(mesh)` front-end. `opts.num_shards`/`dp_replicas`
+/// are ignored; the winning mesh is reported in the result's plan fields.
+TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
+                                  const TapOptions& opts);
+
+}  // namespace tap::core

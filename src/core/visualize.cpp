@@ -1,0 +1,44 @@
+#include "core/visualize.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tap::core {
+
+std::string visualize_plan(const ir::TapGraph& tg,
+                           const sharding::ShardingPlan& plan,
+                           const pruning::PruneResult& pruning) {
+  std::ostringstream os;
+  for (const auto& family : pruning.families) {
+    bool weighted = false;
+    for (ir::GraphNodeId id : family.member_nodes)
+      weighted |= tg.node(id).has_weight();
+    if (!weighted) continue;
+
+    os << "+-- " << family.representative;
+    if (family.multiplicity() > 1) os << "  (x" << family.multiplicity() << ")";
+    os << "\n";
+    for (std::size_t j = 0; j < family.member_nodes.size(); ++j) {
+      ir::GraphNodeId id = family.member_nodes[j];
+      const auto& n = tg.node(id);
+      if (!n.has_weight()) continue;
+      auto pats = sharding::patterns_for(tg, id, plan.num_shards,
+                                         plan.dp_replicas);
+      int c = plan.choice[static_cast<std::size_t>(id)];
+      std::string pat = "?", spec = "?";
+      if (c >= 0 && c < static_cast<int>(pats.size())) {
+        pat = pats[static_cast<std::size_t>(c)].name;
+        spec = pats[static_cast<std::size_t>(c)].weight.to_string();
+      }
+      std::string label = family.relnames[j] == "."
+                              ? util::path_leaf(family.representative)
+                              : family.relnames[j].substr(1);
+      os << "|   [" << spec << "] " << label << " -> " << pat << "\n";
+    }
+    os << "+--\n";
+  }
+  return os.str();
+}
+
+}  // namespace tap::core

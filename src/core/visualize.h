@@ -1,0 +1,19 @@
+// ASCII visualization of discovered sharding plans (Fig. 14): one box per
+// unique subgraph family showing each trainable variable's layout, plus
+// the fold multiplicity.
+#pragma once
+
+#include <string>
+
+#include "core/tap.h"
+
+namespace tap::core {
+
+/// Renders `plan` family by family. Weighted GraphNodes show their
+/// pattern name and weight layout ("q -> split_col w=S(1)"); replicated
+/// variables render as "R" boxes like the paper's figure.
+std::string visualize_plan(const ir::TapGraph& tg,
+                           const sharding::ShardingPlan& plan,
+                           const pruning::PruneResult& pruning);
+
+}  // namespace tap::core

@@ -1,0 +1,79 @@
+// ClusterSpec: the physical training system S(m, n) of §3.1 — m worker
+// nodes with n accelerators each, plus the bandwidth/latency/compute
+// numbers the analytical models need.
+//
+// Defaults reproduce the paper's testbed (§6.1): nodes with 8× V100 SXM2
+// 32 GB connected by 32 Gbps Ethernet (≈4 GB/s), PCIe-class intra-node
+// bandwidth. The key property driving every result in §6 is the ~10×
+// intra/inter bandwidth gap: it is why communication dominates once a
+// tensor-parallel group spans nodes (Fig. 6).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tap::cost {
+
+struct ClusterSpec {
+  int num_nodes = 1;      ///< m
+  int gpus_per_node = 8;  ///< n
+
+  /// Effective intra-node bandwidth per GPU pair (PCIe/NVLink mix), B/s.
+  double intra_bw = 12e9;
+  /// Effective inter-node bandwidth per node (32 Gbps Ethernet), B/s.
+  double inter_bw = 4e9;
+  double intra_latency = 8e-6;   ///< per ring hop, seconds
+  double inter_latency = 40e-6;  ///< per ring hop, seconds
+
+  /// Sustained compute per GPU (V100 fp32 with realistic efficiency), FLOP/s.
+  double flops_per_gpu = 7.0e12;
+  /// HBM2 bandwidth for memory-bound ops, B/s.
+  double mem_bw = 800e9;
+  /// Device memory capacity, bytes (V100 32 GB).
+  double gpu_memory = 32.0 * (1ull << 30);
+  /// Per-kernel launch overhead, seconds (what XLA fusion amortizes, §6.2.2).
+  double kernel_launch_overhead = 6e-6;
+
+  /// Relative compute speed per node (1.0 = nominal). Empty = homogeneous.
+  /// Synchronous SPMD training is paced by the slowest participant — the
+  /// heterogeneity Whale's hardware-aware balancing targets (§2.3.1).
+  std::vector<double> node_speeds;
+
+  int world() const { return num_nodes * gpus_per_node; }
+  bool spans_nodes() const { return num_nodes > 1; }
+
+  /// Speed of the slowest node (what every synchronous step waits for).
+  double slowest_node_speed() const {
+    if (node_speeds.empty()) return 1.0;
+    double slowest = node_speeds.front();
+    for (double s : node_speeds) slowest = std::min(slowest, s);
+    return std::max(slowest, 1e-6);
+  }
+
+  /// Sustained FLOP/s after the straggler penalty.
+  double effective_flops() const {
+    return flops_per_gpu * slowest_node_speed();
+  }
+
+  /// Bottleneck ring bandwidth for a collective over `group` devices:
+  /// groups confined to one node ride the fast fabric, anything larger is
+  /// throttled by the per-node NIC.
+  double ring_bandwidth(int group) const {
+    return group <= gpus_per_node ? intra_bw : inter_bw;
+  }
+  double ring_latency(int group) const {
+    return group <= gpus_per_node ? intra_latency : inter_latency;
+  }
+
+  /// One 8-GPU V100 node (the paper's 8w setting).
+  static ClusterSpec v100_node() { return ClusterSpec{}; }
+  /// `nodes` × 8 V100s over 32 Gbps Ethernet (16w = v100_cluster(2)).
+  static ClusterSpec v100_cluster(int nodes) {
+    ClusterSpec c;
+    c.num_nodes = nodes;
+    return c;
+  }
+};
+
+}  // namespace tap::cost

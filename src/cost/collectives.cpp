@@ -1,0 +1,60 @@
+#include "cost/collectives.h"
+
+namespace tap::cost {
+
+using sharding::Collective;
+
+double collective_efficiency(Collective c) {
+  switch (c) {
+    case Collective::kAllReduce:
+      return 0.92;  // NCCL's best-tuned path
+    case Collective::kReduceScatter:
+      return 0.85;
+    case Collective::kAllGather:
+      return 0.75;
+    case Collective::kBroadcast:
+      return 0.80;
+    case Collective::kAllToAll:
+      return 0.55;  // the slowest per byte (§4.6)
+    case Collective::kNone:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double collective_wire_bytes(Collective c, std::int64_t bytes, int group) {
+  if (c == Collective::kNone || group <= 1 || bytes <= 0) return 0.0;
+  const double p = static_cast<double>(group);
+  const double b = static_cast<double>(bytes);
+  switch (c) {
+    case Collective::kAllReduce:
+      return 2.0 * (p - 1.0) / p * b;
+    case Collective::kAllGather:
+    case Collective::kReduceScatter:
+    case Collective::kAllToAll:
+      return (p - 1.0) / p * b;
+    case Collective::kBroadcast:
+      return b;
+    case Collective::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double collective_time(Collective c, std::int64_t bytes, int group,
+                       const ClusterSpec& cluster, bool cross_node) {
+  if (c == Collective::kNone || group <= 1 || bytes <= 0) return 0.0;
+  const double wire = collective_wire_bytes(c, bytes, group);
+  const bool inter = cross_node && cluster.spans_nodes();
+  const double raw_bw =
+      inter ? cluster.inter_bw : cluster.ring_bandwidth(group);
+  const double bw = raw_bw * collective_efficiency(c);
+  const double lat =
+      inter ? cluster.inter_latency : cluster.ring_latency(group);
+  // Ring step count: AllReduce does reduce-scatter + all-gather.
+  const int steps =
+      (c == Collective::kAllReduce) ? 2 * (group - 1) : (group - 1);
+  return static_cast<double>(steps) * lat + wire / bw;
+}
+
+}  // namespace tap::cost

@@ -1,0 +1,32 @@
+// Analytical cost of collective communication (§4.6).
+//
+// Ring-algorithm alpha-beta model with a per-collective efficiency factor:
+// the paper observes that NCCL's AllReduce is heavily optimized while
+// AllGather and especially AllToAll "take more time to communicate the
+// same amount of messages". Times are seconds for `bytes` of *logical*
+// tensor data moved across a group of `group` devices.
+#pragma once
+
+#include <cstdint>
+
+#include "cost/cluster.h"
+#include "sharding/shard_spec.h"
+
+namespace tap::cost {
+
+/// NCCL-style efficiency factor (1.0 = perfect ring utilization).
+double collective_efficiency(sharding::Collective c);
+
+/// Time for one collective of `bytes` logical bytes over `group` devices.
+/// group <= 1 or kNone costs zero. `cross_node` forces the inter-node
+/// bandwidth even for small groups (data-parallel replicas are laid out
+/// across nodes, so a 2-way gradient AllReduce still crosses Ethernet).
+double collective_time(sharding::Collective c, std::int64_t bytes, int group,
+                       const ClusterSpec& cluster, bool cross_node = false);
+
+/// Bytes actually crossing the bottleneck link, after the ring (p-1)/p (or
+/// 2(p-1)/p for AllReduce) volume factor. Useful for reporting.
+double collective_wire_bytes(sharding::Collective c, std::int64_t bytes,
+                             int group);
+
+}  // namespace tap::cost

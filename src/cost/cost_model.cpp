@@ -1,0 +1,146 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+
+#include "cost/flops.h"
+#include "util/check.h"
+
+namespace tap::cost {
+
+using sharding::Collective;
+using sharding::CommEvent;
+
+PlanCost comm_cost(const sharding::RoutedPlan& routed, int num_shards,
+                   const ClusterSpec& cluster, const CostOptions& opts) {
+  TAP_CHECK(routed.valid) << "cannot cost an invalid plan: " << routed.error;
+  PlanCost cost;
+  for (const CommEvent& e : routed.comms) {
+    const int group = e.group > 0 ? e.group : num_shards;
+    const double t =
+        collective_time(e.kind, e.bytes, group, cluster, e.cross_node) *
+        e.count;
+    cost.comm_bytes += e.bytes * e.count;
+    if (e.overlappable) {
+      cost.overlappable_comm_s += t;
+    } else if (e.phase == CommEvent::Phase::kForward) {
+      cost.forward_comm_s += t;
+    } else {
+      cost.backward_comm_s += t;
+    }
+  }
+  if (opts.overlap_window_s >= 0.0) {
+    cost.backward_comm_s +=
+        std::max(0.0, cost.overlappable_comm_s - opts.overlap_window_s);
+  } else {
+    cost.backward_comm_s +=
+        cost.overlappable_comm_s * opts.exposed_overlap_fraction;
+  }
+  return cost;
+}
+
+double backward_compute_window(const ir::TapGraph& tg,
+                               const sharding::RoutedPlan& routed,
+                               const std::vector<ir::GraphNodeId>* members,
+                               int num_shards, const ClusterSpec& cluster,
+                               const sharding::PatternTable* table) {
+  TAP_CHECK(routed.valid);
+  const Graph& g = *tg.source();
+  double window = 0.0;
+  std::vector<sharding::ShardingPattern> patterns_storage;
+  auto add = [&](ir::GraphNodeId id) {
+    const auto& n = tg.node(id);
+    const auto& pats =
+        table != nullptr
+            ? table->at(id)
+            : patterns_storage =
+                  sharding::patterns_for(tg, id, num_shards,
+                                         routed.dp_replicas);
+    const auto& pat = pats[static_cast<std::size_t>(
+        routed.pattern_index[static_cast<std::size_t>(id)])];
+    const sharding::ShardSpec& ospec =
+        routed.output_spec[static_cast<std::size_t>(id)];
+    const double dp = static_cast<double>(std::max(1, routed.dp_replicas));
+    const double shrink =
+        dp * ((ospec.is_split() || pat.weight.is_split())
+                  ? static_cast<double>(num_shards)
+                  : 1.0);
+    for (NodeId op : n.ops) {
+      window += op_time(g.node(op), g, cluster, shrink) *
+                backward_factor(g.node(op).kind);
+    }
+  };
+  if (members != nullptr) {
+    for (ir::GraphNodeId id : *members) add(id);
+  } else {
+    for (const auto& n : tg.nodes()) add(n.id);
+  }
+  return window;
+}
+
+MemoryEstimate estimate_memory(const ir::TapGraph& tg,
+                               const sharding::RoutedPlan& routed,
+                               int num_shards,
+                               const TrainingOptions& training) {
+  TAP_CHECK(routed.valid);
+  MemoryEstimate mem;
+  const Graph& g = *tg.source();
+  for (const auto& n : tg.nodes()) {
+    // Weights: the primary weight follows the pattern's layout, secondary
+    // weights stay replicated.
+    if (n.has_weight()) {
+      auto pats = sharding::patterns_for(tg, n.id, num_shards,
+                                         routed.dp_replicas);
+      const auto& pat = pats[static_cast<std::size_t>(
+          routed.pattern_index[static_cast<std::size_t>(n.id)])];
+      const Node* primary = nullptr;
+      for (NodeId wid : n.weight_ops) {
+        const Node& w = g.node(wid);
+        if (!primary || w.weight_params() > primary->weight_params())
+          primary = &w;
+      }
+      for (NodeId wid : n.weight_ops) {
+        const Node& w = g.node(wid);
+        std::int64_t full = w.weight->size_bytes();
+        std::int64_t local = full;
+        if (&w == primary && pat.weight.is_split() &&
+            pat.weight.fits(w.weight->shape, num_shards)) {
+          local = full / num_shards;
+        }
+        // AMP keeps an fp32 master copy plus the fp16 working copy
+        // (6 B/param vs 4 B); gradients live in fp16.
+        mem.weight_bytes +=
+            training.amp ? local + local / 2 : local;
+        if (w.trainable) {
+          mem.gradient_bytes += training.amp ? local / 2 : local;
+          mem.optimizer_bytes += 2 * local;  // Adam m + v, fp32 either way
+        }
+      }
+    }
+    // Activations: the local shard of every compute cluster's output is
+    // kept for the backward pass. The batch is pre-split across the dp
+    // replicas; a split layout additionally divides across the tp group.
+    bool is_input = n.inputs.empty();
+    if (!is_input && n.output.shape.rank() > 0) {
+      const sharding::ShardSpec& spec =
+          routed.output_spec[static_cast<std::size_t>(n.id)];
+      std::int64_t full =
+          n.output.size_bytes() / std::max(1, routed.dp_replicas);
+      mem.activation_bytes +=
+          spec.is_split() && spec.fits(n.output.shape, num_shards)
+              ? full / num_shards
+              : full;
+    }
+  }
+  if (training.amp) mem.activation_bytes /= 2;  // fp16 activations
+  if (training.recompute) {
+    mem.activation_bytes = static_cast<std::int64_t>(
+        static_cast<double>(mem.activation_bytes) *
+        training.recompute_keep_fraction);
+  }
+  if (training.zero1 && routed.dp_replicas > 1) {
+    mem.optimizer_bytes /= routed.dp_replicas;
+  }
+  return mem;
+}
+
+}  // namespace tap::cost

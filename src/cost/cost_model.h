@@ -1,0 +1,103 @@
+// The TAP cost model (§4.6): the cost of a candidate plan is its
+// communication along the critical path, because once tensor-parallel
+// groups span Ethernet links, communication — not FLOPs — decides which
+// plan wins.
+//
+// The model handles the three practical challenges the paper lists:
+//   * counting communicated parameters — only *trainable* weight gradients
+//     are exchanged in the backward phase (routing already filters);
+//   * gradient overlap/aggregation — weight-gradient AllReduces overlap
+//     with backward compute and are packed (§4.7.1), so only a configurable
+//     exposed fraction counts toward the plan cost;
+//   * collective efficiency — AllGather/AllToAll pay their NCCL efficiency
+//     penalty relative to AllReduce (cost/collectives).
+#pragma once
+
+#include "cost/cluster.h"
+#include "cost/collectives.h"
+#include "sharding/routing.h"
+
+namespace tap::cost {
+
+struct CostOptions {
+  /// Fraction of overlappable (weight-gradient) communication time that
+  /// remains exposed after overlap with backward compute and gradient
+  /// packing. 0 = perfectly hidden, 1 = fully serial. Used only when
+  /// `overlap_window_s` is negative.
+  double exposed_overlap_fraction = 0.25;
+  /// Backward-compute time available to hide gradient collectives behind.
+  /// When >= 0, exposed overlappable comm = max(0, total − window): on a
+  /// fast intra-node fabric gradients hide almost entirely, while on
+  /// Ethernet most of the traffic is exposed — the mechanism behind
+  /// Fig. 6's DP bars growing from 8w to 16w.
+  double overlap_window_s = -1.0;
+};
+
+struct PlanCost {
+  double forward_comm_s = 0.0;   ///< exposed forward-path communication
+  double backward_comm_s = 0.0;  ///< exposed backward-path communication
+  /// Full (pre-discount) time of the overlappable gradient collectives.
+  double overlappable_comm_s = 0.0;
+  std::int64_t comm_bytes = 0;  ///< logical bytes over all collectives
+
+  double total() const { return forward_comm_s + backward_comm_s; }
+};
+
+/// Communication cost of a routed plan on `cluster`. The collective group
+/// is the whole device world (the plan's num_shards).
+PlanCost comm_cost(const sharding::RoutedPlan& routed, int num_shards,
+                   const ClusterSpec& cluster, const CostOptions& opts = {});
+
+/// Backward-pass compute time of the clusters in `members` (nullptr = the
+/// whole graph) under the routed plan's sharding — the overlap window fed
+/// into CostOptions::overlap_window_s.
+double backward_compute_window(const ir::TapGraph& tg,
+                               const sharding::RoutedPlan& routed,
+                               const std::vector<ir::GraphNodeId>* members,
+                               int num_shards, const ClusterSpec& cluster,
+                               const sharding::PatternTable* table = nullptr);
+
+// ---------------------------------------------------------------------------
+// Training-technique options (§4.8: AMP / recomputation / ZeRO are
+// orthogonal passes TAP composes with)
+// ---------------------------------------------------------------------------
+
+struct TrainingOptions {
+  /// Automatic mixed precision: fp16 activations/gradients/compute with
+  /// fp32 master weights (NVIDIA AMP, §4.8 [1]).
+  bool amp = false;
+  /// Tensor-core speedup applied to compute when amp is on (V100-era
+  /// conservative figure; peak is ~8x, sustained far less).
+  double amp_compute_speedup = 3.0;
+  /// Gradient checkpointing (§4.8 [6]): keep only a fraction of forward
+  /// activations and recompute the rest during backward.
+  bool recompute = false;
+  double recompute_keep_fraction = 0.25;
+  double recompute_extra_backward = 0.33;  ///< one extra forward, amortized
+  /// ZeRO stage 1 (§4.8 [23,24]): shard optimizer states across the dp
+  /// replicas; each step re-gathers the updated weight shards.
+  bool zero1 = false;
+};
+
+// ---------------------------------------------------------------------------
+// Per-device memory estimate (Fig. 13's memory axis)
+// ---------------------------------------------------------------------------
+
+struct MemoryEstimate {
+  std::int64_t weight_bytes = 0;      ///< local shards of all weights
+  std::int64_t gradient_bytes = 0;    ///< same layout as weights
+  std::int64_t optimizer_bytes = 0;   ///< Adam: 2 fp32 moments per weight
+  std::int64_t activation_bytes = 0;  ///< stored forward activations (local)
+  std::int64_t total() const {
+    return weight_bytes + gradient_bytes + optimizer_bytes + activation_bytes;
+  }
+};
+
+/// Estimates per-device training memory for a routed plan under the given
+/// training techniques.
+MemoryEstimate estimate_memory(const ir::TapGraph& tg,
+                               const sharding::RoutedPlan& routed,
+                               int num_shards,
+                               const TrainingOptions& training = {});
+
+}  // namespace tap::cost

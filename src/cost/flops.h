@@ -1,0 +1,34 @@
+// Per-operator compute cost estimators used by the cost model's compute
+// side and by the training-step simulator.
+//
+// The model is a standard roofline: an op takes
+//   max(flops / device_flops, bytes_touched / mem_bw) + launch_overhead.
+// Dense contractions (MatMul/Conv) are compute bound; everything else
+// (elementwise, norms, embedding lookups) is memory bound.
+#pragma once
+
+#include <cstdint>
+
+#include "cost/cluster.h"
+#include "graph/graph.h"
+
+namespace tap::cost {
+
+/// Floating-point operations of the forward computation of `n`.
+double op_flops(const Node& n);
+
+/// Bytes read+written by the forward computation of `n` (inputs from `g`,
+/// its weight, and its output).
+std::int64_t op_bytes_touched(const Node& n, const Graph& g);
+
+/// Roofline time of the forward computation of `n` on one device, with the
+/// work optionally divided by `shrink` (the parallel speedup of a split
+/// pattern). `fused` skips the launch overhead (XLA-style fusion).
+double op_time(const Node& n, const Graph& g, const ClusterSpec& cluster,
+               double shrink = 1.0, bool fused = false);
+
+/// Backward compute is roughly 2× forward for weighted ops (grad wrt input
+/// and wrt weight) and 1× for the rest.
+double backward_factor(OpKind kind);
+
+}  // namespace tap::cost

@@ -1,0 +1,52 @@
+#include "fusion/fusion.h"
+
+namespace tap::fusion {
+
+bool is_fusable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBatchNorm:
+    case OpKind::kLayerNorm:
+    case OpKind::kBiasAdd:
+    case OpKind::kSoftmax:
+      return true;
+    default:
+      return is_elementwise(kind);
+  }
+}
+
+FusionResult fuse_elementwise(const Graph& g) {
+  FusionResult result;
+  std::vector<bool> used(g.num_nodes(), false);
+  for (NodeId id : g.topo_order()) {
+    const Node& n = g.node(id);
+    if (!is_fusable(n.kind)) continue;
+    ++result.fusable_ops;
+    if (used[static_cast<std::size_t>(id)]) continue;
+    // Grow a chain downstream while the sole consumer is elementwise.
+    std::vector<NodeId> chain = {id};
+    used[static_cast<std::size_t>(id)] = true;
+    NodeId cur = id;
+    while (true) {
+      const auto& cons = g.consumers(cur);
+      if (cons.size() != 1) break;
+      const Node& next = g.node(cons.front());
+      if (!is_fusable(next.kind) ||
+          used[static_cast<std::size_t>(next.id)]) {
+        break;
+      }
+      // Only fuse when the chain is the consumer's sole data dependency
+      // path (unary elementwise); binary ops join other streams.
+      if (next.inputs.size() != 1) break;
+      chain.push_back(next.id);
+      used[static_cast<std::size_t>(next.id)] = true;
+      cur = next.id;
+    }
+    if (chain.size() >= 2) {
+      result.kernels_saved += chain.size() - 1;
+      result.groups.push_back(std::move(chain));
+    }
+  }
+  return result;
+}
+
+}  // namespace tap::fusion

@@ -1,0 +1,33 @@
+// XLA-like JIT kernel fusion pass (§6.2.2, Fig. 8).
+//
+// Greedily clusters chains of elementwise operators: a fused cluster
+// launches as one kernel (saving per-kernel launch overhead) but also
+// behaves as one scheduling unit, which hinders overlapping collectives
+// with the computation inside it. The simulator consumes both effects via
+// SimOptions::xla_fusion; this pass provides the structural analysis (how
+// many kernels fusion saves) reported by the Fig. 8 bench.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tap::fusion {
+
+struct FusionResult {
+  /// Fused groups (each a chain of >= 2 elementwise ops, topo order).
+  std::vector<std::vector<NodeId>> groups;
+  std::size_t fusable_ops = 0;
+  /// Kernel launches eliminated: Σ (group size - 1).
+  std::size_t kernels_saved = 0;
+};
+
+/// Ops XLA can fold into a neighbouring kernel: elementwise math plus the
+/// light normalization/bias/softmax ops it fuses in practice.
+bool is_fusable(OpKind kind);
+
+/// Clusters maximal single-consumer chains of fusable ops. Never fuses
+/// across communication or auxiliary operators.
+FusionResult fuse_elementwise(const Graph& g);
+
+}  // namespace tap::fusion

@@ -1,0 +1,56 @@
+// Element data types carried by tensors in the tap graph IR.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace tap {
+
+enum class DType : std::uint8_t {
+  kF16,
+  kBF16,
+  kF32,
+  kF64,
+  kI32,
+  kI64,
+  kBool,
+};
+
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF16:
+    case DType::kBF16:
+      return 2;
+    case DType::kF32:
+    case DType::kI32:
+      return 4;
+    case DType::kF64:
+    case DType::kI64:
+      return 8;
+    case DType::kBool:
+      return 1;
+  }
+  return 0;  // unreachable
+}
+
+constexpr std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kF16:
+      return "f16";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kF32:
+      return "f32";
+    case DType::kF64:
+      return "f64";
+    case DType::kI32:
+      return "i32";
+    case DType::kI64:
+      return "i64";
+    case DType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+}  // namespace tap

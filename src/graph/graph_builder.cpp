@@ -1,0 +1,324 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tap {
+
+GraphBuilder::GraphBuilder(std::string graph_name, DType dtype)
+    : g_(std::move(graph_name)), dtype_(dtype) {}
+
+GraphBuilder::Scope::Scope(GraphBuilder& b, const std::string& name) : b_(b) {
+  TAP_CHECK(!name.empty());
+  b_.scopes_.push_back(name);
+}
+
+GraphBuilder::Scope::~Scope() { b_.scopes_.pop_back(); }
+
+std::string GraphBuilder::qualify(const std::string& name) const {
+  std::string full;
+  for (const auto& s : scopes_) {
+    full += s;
+    full += '/';
+  }
+  full += name;
+  return full;
+}
+
+NodeId GraphBuilder::op(const std::string& name, OpKind kind,
+                        std::vector<NodeId> inputs, TensorSpec out) {
+  return g_.add(qualify(name), kind, std::move(inputs), std::move(out));
+}
+
+NodeId GraphBuilder::placeholder(const std::string& name, TensorShape shape) {
+  return placeholder(name, std::move(shape), dtype_);
+}
+
+NodeId GraphBuilder::placeholder(const std::string& name, TensorShape shape,
+                                 DType dtype) {
+  return op(name, OpKind::kPlaceholder, {}, {std::move(shape), dtype});
+}
+
+NodeId GraphBuilder::constant(const std::string& name, TensorShape shape) {
+  return op(name, OpKind::kConst, {}, {std::move(shape), dtype_});
+}
+
+NodeId GraphBuilder::matmul(const std::string& name, NodeId input,
+                            std::int64_t n_out, bool trainable) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_GE(in.rank(), 2) << "matmul input must be rank >= 2";
+  std::int64_t k = in.dim(-1);
+  TensorShape out = in;
+  out.set_dim(-1, n_out);
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kMatMul;
+  n.inputs = {input};
+  n.output = {out, dtype_};
+  n.weight = TensorSpec{TensorShape{k, n_out}, dtype_};
+  n.trainable = trainable;
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::conv2d(const std::string& name, NodeId input,
+                            std::int64_t c_out, int kernel, int stride) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_EQ(in.rank(), 4) << "conv2d expects NHWC input";
+  TAP_CHECK_GE(stride, 1);
+  std::int64_t h = (in.dim(1) + stride - 1) / stride;  // SAME padding
+  std::int64_t w = (in.dim(2) + stride - 1) / stride;
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kConv2D;
+  n.inputs = {input};
+  n.output = {TensorShape{in.dim(0), h, w, c_out}, dtype_};
+  n.weight = TensorSpec{TensorShape{kernel, kernel, in.dim(3), c_out}, dtype_};
+  n.attrs["kernel"] = kernel;
+  n.attrs["stride"] = stride;
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::embedding(const std::string& name, NodeId ids,
+                               std::int64_t vocab, std::int64_t hidden,
+                               bool trainable) {
+  TensorShape out = node(ids).output.shape;
+  std::vector<std::int64_t> dims = out.dims();
+  dims.push_back(hidden);
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kEmbedding;
+  n.inputs = {ids};
+  n.output = {TensorShape(dims), dtype_};
+  n.weight = TensorSpec{TensorShape{vocab, hidden}, dtype_};
+  n.trainable = trainable;
+  n.attrs["vocab"] = vocab;
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::layer_norm(const std::string& name, NodeId input) {
+  const TensorSpec& in = node(input).output;
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kLayerNorm;
+  n.inputs = {input};
+  n.output = in;
+  n.weight = TensorSpec{TensorShape{2, in.shape.dim(-1)}, dtype_};
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::batch_norm(const std::string& name, NodeId input) {
+  const TensorSpec& in = node(input).output;
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kBatchNorm;
+  n.inputs = {input};
+  n.output = in;
+  n.weight = TensorSpec{TensorShape{2, in.shape.dim(-1)}, dtype_};
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::bias_add(const std::string& name, NodeId input) {
+  const TensorSpec& in = node(input).output;
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kBiasAdd;
+  n.inputs = {input};
+  n.output = in;
+  n.weight = TensorSpec{TensorShape{in.shape.dim(-1)}, dtype_};
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::moe_router(const std::string& name, NodeId input,
+                                std::int64_t n_experts) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_EQ(in.rank(), 3) << "moe_router expects [b, s, d]";
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kMoeRouter;
+  n.inputs = {input};
+  n.output = {TensorShape{in.dim(0), in.dim(1), n_experts}, dtype_};
+  n.weight = TensorSpec{TensorShape{in.dim(2), n_experts}, dtype_};
+  n.attrs["experts"] = n_experts;
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::moe_dispatch(const std::string& name, NodeId input,
+                                  NodeId router, std::int64_t capacity) {
+  const TensorShape& in = node(input).output.shape;
+  const TensorShape& rt = node(router).output.shape;
+  TAP_CHECK_EQ(in.rank(), 3);
+  std::int64_t n_experts = rt.dim(-1);
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kMoeDispatch;
+  n.inputs = {input, router};
+  n.output = {TensorShape{n_experts, capacity, in.dim(2)}, dtype_};
+  n.attrs["experts"] = n_experts;
+  n.attrs["capacity"] = capacity;
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::expert_matmul(const std::string& name, NodeId input,
+                                   std::int64_t n_out) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_EQ(in.rank(), 3) << "expert_matmul expects [e, cap, d]";
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kMatMul;
+  n.inputs = {input};
+  n.output = {TensorShape{in.dim(0), in.dim(1), n_out}, dtype_};
+  n.weight = TensorSpec{TensorShape{in.dim(0), in.dim(2), n_out}, dtype_};
+  n.attrs["experts"] = in.dim(0);
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::moe_combine(const std::string& name, NodeId expert_out,
+                                 NodeId router, TensorShape token_shape) {
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kMoeCombine;
+  n.inputs = {expert_out, router};
+  n.output = {std::move(token_shape), dtype_};
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::unary(const std::string& name, OpKind kind,
+                           NodeId input) {
+  return op(name, kind, {input}, node(input).output);
+}
+
+NodeId GraphBuilder::binary(const std::string& name, OpKind kind, NodeId a,
+                            NodeId b) {
+  const TensorSpec& sa = node(a).output;
+  const TensorSpec& sb = node(b).output;
+  TAP_CHECK(sa.shape == sb.shape)
+      << "binary op '" << qualify(name) << "' shape mismatch: "
+      << sa.shape.to_string() << " vs " << sb.shape.to_string();
+  return op(name, kind, {a, b}, sa);
+}
+
+NodeId GraphBuilder::softmax(const std::string& name, NodeId input) {
+  return unary(name, OpKind::kSoftmax, input);
+}
+
+NodeId GraphBuilder::reshape(const std::string& name, NodeId input,
+                             TensorShape shape) {
+  const TensorSpec& in = node(input).output;
+  TAP_CHECK_EQ(in.shape.num_elements(), shape.num_elements())
+      << "reshape '" << qualify(name) << "' changes element count";
+  return op(name, OpKind::kReshape, {input}, {std::move(shape), in.dtype});
+}
+
+NodeId GraphBuilder::transpose(const std::string& name, NodeId input,
+                               std::vector<int> perm) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_EQ(static_cast<int>(perm.size()), in.rank());
+  std::vector<std::int64_t> dims(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) dims[i] = in.dim(perm[i]);
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kTranspose;
+  n.inputs = {input};
+  n.output = {TensorShape(dims), node(input).output.dtype};
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    n.attrs["perm" + std::to_string(i)] = perm[i];
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::batch_matmul(const std::string& name, NodeId a,
+                                  NodeId b) {
+  const TensorShape& sa = node(a).output.shape;
+  const TensorShape& sb = node(b).output.shape;
+  TAP_CHECK_EQ(sa.rank(), sb.rank());
+  TAP_CHECK_GE(sa.rank(), 3);
+  TAP_CHECK_EQ(sa.dim(-1), sb.dim(-2))
+      << "batch_matmul '" << qualify(name) << "' contraction mismatch";
+  for (int i = 0; i < sa.rank() - 2; ++i) TAP_CHECK_EQ(sa.dim(i), sb.dim(i));
+  TensorShape out = sa;
+  out.set_dim(-1, sb.dim(-1));
+  return op(name, OpKind::kBatchMatMul, {a, b}, {out, node(a).output.dtype});
+}
+
+NodeId GraphBuilder::max_pool(const std::string& name, NodeId input,
+                              int window, int stride) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_EQ(in.rank(), 4);
+  std::int64_t h = (in.dim(1) + stride - 1) / stride;
+  std::int64_t w = (in.dim(2) + stride - 1) / stride;
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kMaxPool2D;
+  n.inputs = {input};
+  n.output = {TensorShape{in.dim(0), h, w, in.dim(3)},
+              node(input).output.dtype};
+  n.attrs["window"] = window;
+  n.attrs["stride"] = stride;
+  return g_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::global_avg_pool(const std::string& name, NodeId input) {
+  const TensorShape& in = node(input).output.shape;
+  TAP_CHECK_EQ(in.rank(), 4);
+  return op(name, OpKind::kGlobalAvgPool, {input},
+            {TensorShape{in.dim(0), in.dim(3)}, node(input).output.dtype});
+}
+
+NodeId GraphBuilder::reduce_mean(const std::string& name, NodeId input) {
+  return op(name, OpKind::kReduceMean, {input},
+            {TensorShape::scalar(), node(input).output.dtype});
+}
+
+NodeId GraphBuilder::cross_entropy(const std::string& name, NodeId logits,
+                                   NodeId labels) {
+  return op(name, OpKind::kCrossEntropy, {logits, labels},
+            {TensorShape::scalar(), dtype_});
+}
+
+NodeId GraphBuilder::concat(const std::string& name, std::vector<NodeId> inputs,
+                            int axis) {
+  TAP_CHECK(!inputs.empty());
+  TensorShape out = node(inputs[0]).output.shape;
+  std::int64_t total = 0;
+  for (NodeId in : inputs) total += node(in).output.shape.dim(axis);
+  out.set_dim(axis, total);
+  Node n;
+  n.name = qualify(name);
+  n.kind = OpKind::kConcat;
+  n.inputs = std::move(inputs);
+  n.output = {out, dtype_};
+  n.attrs["axis"] = axis;
+  return g_.add_node(std::move(n));
+}
+
+void GraphBuilder::add_training_auxiliaries() {
+  // Mimic a TF-1.x training graph: per-variable init + assign, one saver
+  // node reading all variables, a summary writer and the global step.
+  // These are exactly the nodes §4.2's trimming removes.
+  std::vector<NodeId> weights = g_.weight_nodes();
+  std::vector<NodeId> save_inputs;
+  for (NodeId wid : weights) {
+    // Copy out of the node before adding: add_node may reallocate storage.
+    const std::string wname = g_.node(wid).name;
+    const TensorSpec wspec = *g_.node(wid).weight;
+    NodeId init = g_.add(wname + "/init", OpKind::kVariableInit, {}, wspec);
+    g_.add(wname + "/assign", OpKind::kAssign, {init},
+           {TensorShape::scalar(), DType::kBool});
+    save_inputs.push_back(wid);
+  }
+  if (!save_inputs.empty()) {
+    g_.add("save/checkpoint", OpKind::kSaveCheckpoint, save_inputs,
+           {TensorShape::scalar(), DType::kBool});
+  }
+  g_.add("train/global_step", OpKind::kGlobalStep, {},
+         {TensorShape::scalar(), DType::kI64});
+  g_.add("train/summary", OpKind::kSummary, {},
+         {TensorShape::scalar(), DType::kBool});
+}
+
+Graph GraphBuilder::take() {
+  g_.validate();
+  return std::move(g_);
+}
+
+}  // namespace tap

@@ -1,0 +1,124 @@
+// GraphBuilder: fluent construction of tap graphs with TensorFlow-style
+// name scopes. The model zoo (src/models) is written entirely against this
+// API. Shape arithmetic (matmul contraction, conv striding, ...) happens
+// here so that every graph node carries a correct static output spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tap {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string graph_name, DType dtype = DType::kF32);
+
+  /// RAII name-scope: names created while alive are prefixed "<scope>/".
+  class Scope {
+   public:
+    Scope(GraphBuilder& b, const std::string& name);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GraphBuilder& b_;
+  };
+  Scope scope(const std::string& name) { return Scope(*this, name); }
+
+  /// Fully-qualified name under the current scope stack.
+  std::string qualify(const std::string& name) const;
+
+  // --- generic ------------------------------------------------------------
+  NodeId op(const std::string& name, OpKind kind, std::vector<NodeId> inputs,
+            TensorSpec out);
+
+  // --- graph inputs -------------------------------------------------------
+  NodeId placeholder(const std::string& name, TensorShape shape);
+  NodeId placeholder(const std::string& name, TensorShape shape, DType dtype);
+  NodeId constant(const std::string& name, TensorShape shape);
+
+  // --- weighted operators ---------------------------------------------------
+  /// Dense layer: input [..., K] x weight [K, n_out] -> [..., n_out].
+  NodeId matmul(const std::string& name, NodeId input, std::int64_t n_out,
+                bool trainable = true);
+  /// 2D convolution, NHWC, SAME padding: weight [kh, kw, c_in, c_out].
+  NodeId conv2d(const std::string& name, NodeId input, std::int64_t c_out,
+                int kernel, int stride);
+  /// Token embedding lookup: ids [...] -> [..., hidden]; weight [vocab, hidden].
+  NodeId embedding(const std::string& name, NodeId ids, std::int64_t vocab,
+                   std::int64_t hidden, bool trainable = true);
+  /// LayerNorm over the last dimension; weight = gain+bias [2, d].
+  NodeId layer_norm(const std::string& name, NodeId input);
+  /// BatchNorm over channels (last dim); weight [2, c].
+  NodeId batch_norm(const std::string& name, NodeId input);
+  /// Bias over the last dimension; weight [d].
+  NodeId bias_add(const std::string& name, NodeId input);
+
+  // --- mixture-of-experts ---------------------------------------------------
+  /// Router producing per-token expert probabilities; weight [d, n_experts].
+  NodeId moe_router(const std::string& name, NodeId input,
+                    std::int64_t n_experts);
+  /// Dispatch tokens [b, s, d] to expert slots [n_experts, capacity, d].
+  NodeId moe_dispatch(const std::string& name, NodeId input, NodeId router,
+                      std::int64_t capacity);
+  /// Per-expert dense layer: input [e, cap, d] x weight [e, d, n_out]
+  /// -> [e, cap, n_out]. Modelled as a MatMul node with a 3D weight and an
+  /// "experts" attribute; this is the coarse "expert bank" GraphNode the
+  /// paper folds as one shared MoE subgraph.
+  NodeId expert_matmul(const std::string& name, NodeId input,
+                       std::int64_t n_out);
+  /// Combine expert outputs back to token order [b, s, d].
+  NodeId moe_combine(const std::string& name, NodeId expert_out, NodeId router,
+                     TensorShape token_shape);
+
+  // --- elementwise / structural --------------------------------------------
+  NodeId unary(const std::string& name, OpKind kind, NodeId input);
+  NodeId binary(const std::string& name, OpKind kind, NodeId a, NodeId b);
+  NodeId relu(const std::string& name, NodeId x) {
+    return unary(name, OpKind::kRelu, x);
+  }
+  NodeId gelu(const std::string& name, NodeId x) {
+    return unary(name, OpKind::kGelu, x);
+  }
+  NodeId dropout(const std::string& name, NodeId x) {
+    return unary(name, OpKind::kDropout, x);
+  }
+  NodeId add(const std::string& name, NodeId a, NodeId b) {
+    return binary(name, OpKind::kAdd, a, b);
+  }
+  NodeId softmax(const std::string& name, NodeId input);
+  NodeId reshape(const std::string& name, NodeId input, TensorShape shape);
+  NodeId transpose(const std::string& name, NodeId input,
+                   std::vector<int> perm);
+  /// Batched matmul a [..., M, K] x b [..., K, N] -> [..., M, N].
+  NodeId batch_matmul(const std::string& name, NodeId a, NodeId b);
+  NodeId max_pool(const std::string& name, NodeId input, int window,
+                  int stride);
+  NodeId global_avg_pool(const std::string& name, NodeId input);
+  NodeId reduce_mean(const std::string& name, NodeId input);
+  NodeId cross_entropy(const std::string& name, NodeId logits, NodeId labels);
+  NodeId concat(const std::string& name, std::vector<NodeId> inputs, int axis);
+
+  // --- auxiliary scaffolding (trimmed by IR lowering, §4.2) ----------------
+  /// Adds VariableInit/Assign per weight node plus one SaveCheckpoint,
+  /// Summary and GlobalStep — the bookkeeping a TF-1.x training graph has.
+  void add_training_auxiliaries();
+
+  const Graph& graph() const { return g_; }
+  Graph& mutable_graph() { return g_; }
+
+  /// Validates and moves the finished graph out of the builder.
+  Graph take();
+
+ private:
+  const Node& node(NodeId id) const { return g_.node(id); }
+
+  Graph g_;
+  DType dtype_;
+  std::vector<std::string> scopes_;
+};
+
+}  // namespace tap

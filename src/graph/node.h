@@ -1,0 +1,50 @@
+// Node: one operator instance in a tap dataflow graph.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/op_kind.h"
+#include "graph/tensor_shape.h"
+
+namespace tap {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  /// TensorFlow-style hierarchical name, unique within the graph,
+  /// e.g. "t5/encoder/block_3/mha/q/matmul".
+  std::string name;
+  OpKind kind = OpKind::kNoOp;
+  /// Producers, in positional order (operand 0, operand 1, ...).
+  std::vector<NodeId> inputs;
+  /// Spec of the (single) output tensor. Multi-output ops are modelled as
+  /// one node per output, which keeps edges simple and loses nothing for
+  /// planning.
+  TensorSpec output;
+  /// Weight tensor owned by this operator, if any (MatMul/Conv2D/...).
+  std::optional<TensorSpec> weight;
+  /// Whether `weight` receives gradients (constants/frozen embeddings
+  /// do not and must not be counted as backward communication, §4.6).
+  bool trainable = true;
+  /// Small integer attributes (axis, head count, stride, expert count...).
+  std::map<std::string, std::int64_t> attrs;
+
+  bool has_weight() const { return weight.has_value(); }
+
+  std::int64_t weight_params() const {
+    return has_weight() ? weight->num_elements() : 0;
+  }
+
+  std::int64_t attr_or(const std::string& key, std::int64_t def) const {
+    auto it = attrs.find(key);
+    return it == attrs.end() ? def : it->second;
+  }
+};
+
+}  // namespace tap

@@ -1,0 +1,139 @@
+#include "graph/op_kind.h"
+
+namespace tap {
+
+std::string_view op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kConst: return "Const";
+    case OpKind::kPlaceholder: return "Placeholder";
+    case OpKind::kIdentity: return "Identity";
+    case OpKind::kCast: return "Cast";
+    case OpKind::kReshape: return "Reshape";
+    case OpKind::kTranspose: return "Transpose";
+    case OpKind::kConcat: return "Concat";
+    case OpKind::kSlice: return "Slice";
+    case OpKind::kSplit: return "Split";
+    case OpKind::kPad: return "Pad";
+    case OpKind::kOneHot: return "OneHot";
+    case OpKind::kGather: return "Gather";
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kBatchMatMul: return "BatchMatMul";
+    case OpKind::kConv2D: return "Conv2D";
+    case OpKind::kMaxPool2D: return "MaxPool2D";
+    case OpKind::kAvgPool2D: return "AvgPool2D";
+    case OpKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case OpKind::kEmbedding: return "Embedding";
+    case OpKind::kAdd: return "Add";
+    case OpKind::kSub: return "Sub";
+    case OpKind::kMul: return "Mul";
+    case OpKind::kDiv: return "Div";
+    case OpKind::kBiasAdd: return "BiasAdd";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kGelu: return "Gelu";
+    case OpKind::kTanh: return "Tanh";
+    case OpKind::kSigmoid: return "Sigmoid";
+    case OpKind::kErf: return "Erf";
+    case OpKind::kRsqrt: return "Rsqrt";
+    case OpKind::kScale: return "Scale";
+    case OpKind::kSoftmax: return "Softmax";
+    case OpKind::kDropout: return "Dropout";
+    case OpKind::kLayerNorm: return "LayerNorm";
+    case OpKind::kBatchNorm: return "BatchNorm";
+    case OpKind::kReduceSum: return "ReduceSum";
+    case OpKind::kReduceMean: return "ReduceMean";
+    case OpKind::kCrossEntropy: return "CrossEntropy";
+    case OpKind::kTopK: return "TopK";
+    case OpKind::kMoeRouter: return "MoeRouter";
+    case OpKind::kMoeDispatch: return "MoeDispatch";
+    case OpKind::kMoeCombine: return "MoeCombine";
+    case OpKind::kAllReduce: return "AllReduce";
+    case OpKind::kAllGather: return "AllGather";
+    case OpKind::kReduceScatter: return "ReduceScatter";
+    case OpKind::kAllToAll: return "AllToAll";
+    case OpKind::kBroadcast: return "Broadcast";
+    case OpKind::kSend: return "Send";
+    case OpKind::kRecv: return "Recv";
+    case OpKind::kVariableInit: return "VariableInit";
+    case OpKind::kAssign: return "Assign";
+    case OpKind::kSaveCheckpoint: return "SaveCheckpoint";
+    case OpKind::kRestoreCheckpoint: return "RestoreCheckpoint";
+    case OpKind::kSummary: return "Summary";
+    case OpKind::kGlobalStep: return "GlobalStep";
+    case OpKind::kApplyAdam: return "ApplyAdam";
+    case OpKind::kApplySGD: return "ApplySGD";
+    case OpKind::kNoOp: return "NoOp";
+  }
+  return "?";
+}
+
+bool is_comm(OpKind k) {
+  switch (k) {
+    case OpKind::kAllReduce:
+    case OpKind::kAllGather:
+    case OpKind::kReduceScatter:
+    case OpKind::kAllToAll:
+    case OpKind::kBroadcast:
+    case OpKind::kSend:
+    case OpKind::kRecv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_aux(OpKind k) {
+  switch (k) {
+    case OpKind::kVariableInit:
+    case OpKind::kAssign:
+    case OpKind::kSaveCheckpoint:
+    case OpKind::kRestoreCheckpoint:
+    case OpKind::kSummary:
+    case OpKind::kGlobalStep:
+    case OpKind::kApplyAdam:
+    case OpKind::kApplySGD:
+    case OpKind::kNoOp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_elementwise(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kBiasAdd:
+    case OpKind::kRelu:
+    case OpKind::kGelu:
+    case OpKind::kTanh:
+    case OpKind::kSigmoid:
+    case OpKind::kErf:
+    case OpKind::kRsqrt:
+    case OpKind::kScale:
+    case OpKind::kDropout:
+    case OpKind::kCast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool may_have_weight(OpKind k) {
+  switch (k) {
+    case OpKind::kMatMul:
+    case OpKind::kConv2D:
+    case OpKind::kEmbedding:
+    case OpKind::kLayerNorm:
+    case OpKind::kBatchNorm:
+    case OpKind::kBiasAdd:
+    case OpKind::kMoeRouter:
+    case OpKind::kMoeDispatch:  // expert weights live behind the dispatch
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace tap

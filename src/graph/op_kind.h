@@ -1,0 +1,106 @@
+// The operator vocabulary of the tap graph IR.
+//
+// Three families:
+//   * compute  — forward-pass math (plus optimizer math, which tap treats
+//                as auxiliary for planning purposes);
+//   * comm     — collective communication inserted by graph rewriting;
+//   * aux      — initialization / checkpointing / bookkeeping operators
+//                that §4.2 trims before planning and restores afterwards.
+#pragma once
+
+#include <string_view>
+
+namespace tap {
+
+enum class OpKind : std::uint8_t {
+  // --- data / structural ---
+  kConst,
+  kPlaceholder,
+  kIdentity,
+  kCast,
+  kReshape,
+  kTranspose,
+  kConcat,
+  kSlice,
+  kSplit,
+  kPad,
+  kOneHot,
+  kGather,
+
+  // --- dense math ---
+  kMatMul,
+  kBatchMatMul,
+  kConv2D,
+  kMaxPool2D,
+  kAvgPool2D,
+  kGlobalAvgPool,
+  kEmbedding,
+
+  // --- elementwise / normalization ---
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kBiasAdd,
+  kRelu,
+  kGelu,
+  kTanh,
+  kSigmoid,
+  kErf,
+  kRsqrt,
+  kScale,
+  kSoftmax,
+  kDropout,
+  kLayerNorm,
+  kBatchNorm,
+
+  // --- reductions / losses ---
+  kReduceSum,
+  kReduceMean,
+  kCrossEntropy,
+  kTopK,
+
+  // --- mixture-of-experts routing ---
+  kMoeRouter,
+  kMoeDispatch,
+  kMoeCombine,
+
+  // --- collective communication (inserted by rewriting) ---
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kAllToAll,
+  kBroadcast,
+  kSend,
+  kRecv,
+
+  // --- auxiliary (trimmed by the IR lowering, §4.2) ---
+  kVariableInit,
+  kAssign,
+  kSaveCheckpoint,
+  kRestoreCheckpoint,
+  kSummary,
+  kGlobalStep,
+  kApplyAdam,
+  kApplySGD,
+  kNoOp,
+};
+
+std::string_view op_kind_name(OpKind k);
+
+/// Collective/point-to-point communication operators.
+bool is_comm(OpKind k);
+
+/// Auxiliary operators removed by IR lowering and restored by rewriting.
+bool is_aux(OpKind k);
+
+/// Unary/binary elementwise math — candidates for XLA-style kernel fusion.
+bool is_elementwise(OpKind k);
+
+/// Operators that may carry a trainable weight tensor.
+bool may_have_weight(OpKind k);
+
+/// Compute operators (neither comm nor aux).
+inline bool is_compute(OpKind k) { return !is_comm(k) && !is_aux(k); }
+
+}  // namespace tap

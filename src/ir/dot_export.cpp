@@ -1,0 +1,83 @@
+#include "ir/dot_export.h"
+
+#include <sstream>
+
+namespace tap::ir {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, std::size_t max_nodes) {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(g.name()) << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+  std::size_t emitted = 0;
+  for (const Node& n : g.nodes()) {
+    if (emitted++ >= max_nodes) {
+      os << "  truncated [label=\"... " << g.num_nodes() - max_nodes
+         << " more nodes\", shape=plaintext];\n";
+      break;
+    }
+    os << "  n" << n.id << " [label=\"" << dot_escape(n.name) << "\\n"
+       << op_kind_name(n.kind) << " " << dot_escape(n.output.to_string())
+       << "\"";
+    if (is_aux(n.kind)) os << ", style=dashed";
+    if (is_comm(n.kind)) os << ", peripheries=2";
+    if (n.has_weight()) os << ", style=filled, fillcolor=lightgrey";
+    os << "];\n";
+  }
+  for (const Node& n : g.nodes()) {
+    if (static_cast<std::size_t>(n.id) >= max_nodes) break;
+    for (NodeId in : n.inputs) {
+      if (static_cast<std::size_t>(in) >= max_nodes) continue;
+      os << "  n" << in << " -> n" << n.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const TapGraph& tg, const sharding::RoutedPlan* routed,
+                   std::size_t max_nodes) {
+  std::ostringstream os;
+  os << "digraph tap_ir {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+  std::size_t emitted = 0;
+  for (const GraphNode& n : tg.nodes()) {
+    if (emitted++ >= max_nodes) {
+      os << "  truncated [label=\"... " << tg.num_nodes() - max_nodes
+         << " more GraphNodes\", shape=plaintext];\n";
+      break;
+    }
+    os << "  g" << n.id << " [label=\"" << dot_escape(n.name) << "\\n"
+       << op_kind_name(n.primary_kind) << " (" << n.ops.size() << " ops)";
+    if (routed != nullptr && routed->valid) {
+      os << "\\nlayout="
+         << routed->output_spec[static_cast<std::size_t>(n.id)].to_string();
+    }
+    os << "\"";
+    if (n.has_weight()) os << ", style=filled, fillcolor=lightgrey";
+    os << "];\n";
+  }
+  for (const GraphNode& n : tg.nodes()) {
+    if (static_cast<std::size_t>(n.id) >= max_nodes) break;
+    for (GraphNodeId in : n.inputs) {
+      if (static_cast<std::size_t>(in) >= max_nodes) continue;
+      os << "  g" << in << " -> g" << n.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tap::ir

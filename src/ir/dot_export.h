@@ -1,0 +1,22 @@
+// Graphviz DOT export for debugging and documentation: the framework graph
+// (op level) or the TAP IR (GraphNode level), optionally annotated with a
+// routed plan's layouts.
+#pragma once
+
+#include <string>
+
+#include "sharding/routing.h"
+
+namespace tap::ir {
+
+/// The framework graph as DOT; aux ops dashed, comm ops doubled.
+/// `max_nodes` truncates huge graphs (an ellipsis node is appended).
+std::string to_dot(const Graph& g, std::size_t max_nodes = 400);
+
+/// The TAP IR as DOT; weighted clusters shaded. When `routed` is non-null
+/// each node is annotated with its resolved layout (R / S(k)).
+std::string to_dot(const TapGraph& tg,
+                   const sharding::RoutedPlan* routed = nullptr,
+                   std::size_t max_nodes = 400);
+
+}  // namespace tap::ir

@@ -1,0 +1,139 @@
+#include "ir/graph_node.h"
+
+#include <deque>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace tap::ir {
+
+GraphNodeId TapGraph::add_node(GraphNode n) {
+  TAP_CHECK(!n.name.empty());
+  TAP_CHECK(by_name_.find(n.name) == by_name_.end())
+      << "duplicate GraphNode '" << n.name << "'";
+  for (GraphNodeId in : n.inputs) {
+    TAP_CHECK(in >= 0 && in < static_cast<GraphNodeId>(nodes_.size()))
+        << "GraphNode '" << n.name << "' has unknown input " << in;
+  }
+  n.id = static_cast<GraphNodeId>(nodes_.size());
+  by_name_.emplace(n.name, n.id);
+  nodes_.push_back(std::move(n));
+  consumers_valid_ = false;
+  topo_valid_ = false;
+  return nodes_.back().id;
+}
+
+const GraphNode& TapGraph::node(GraphNodeId id) const {
+  TAP_CHECK(id >= 0 && id < static_cast<GraphNodeId>(nodes_.size()));
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::size_t TapGraph::num_edges() const {
+  std::size_t e = 0;
+  for (const auto& n : nodes_) e += n.inputs.size();
+  return e;
+}
+
+GraphNodeId TapGraph::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidGraphNode : it->second;
+}
+
+void TapGraph::ensure_consumers() const {
+  if (consumers_valid_) return;
+  consumers_.assign(nodes_.size(), {});
+  for (const auto& n : nodes_)
+    for (GraphNodeId in : n.inputs)
+      consumers_[static_cast<std::size_t>(in)].push_back(n.id);
+  consumers_valid_ = true;
+}
+
+const std::vector<GraphNodeId>& TapGraph::consumers(GraphNodeId id) const {
+  ensure_consumers();
+  TAP_CHECK(id >= 0 && id < static_cast<GraphNodeId>(nodes_.size()));
+  return consumers_[static_cast<std::size_t>(id)];
+}
+
+std::vector<GraphNodeId> TapGraph::roots() const {
+  std::vector<GraphNodeId> out;
+  for (const auto& n : nodes_)
+    if (n.inputs.empty()) out.push_back(n.id);
+  return out;
+}
+
+std::vector<GraphNodeId> TapGraph::leaves() const {
+  ensure_consumers();
+  std::vector<GraphNodeId> out;
+  for (const auto& n : nodes_)
+    if (consumers_[static_cast<std::size_t>(n.id)].empty())
+      out.push_back(n.id);
+  return out;
+}
+
+std::vector<GraphNodeId> TapGraph::topo_order() const {
+  ensure_consumers();
+  std::vector<int> indegree(nodes_.size());
+  for (const auto& n : nodes_)
+    indegree[static_cast<std::size_t>(n.id)] =
+        static_cast<int>(n.inputs.size());
+  std::deque<GraphNodeId> ready;
+  for (const auto& n : nodes_)
+    if (n.inputs.empty()) ready.push_back(n.id);
+  std::vector<GraphNodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    GraphNodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (GraphNodeId c : consumers_[static_cast<std::size_t>(id)])
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+  }
+  TAP_CHECK_EQ(order.size(), nodes_.size()) << "TapGraph contains a cycle";
+  return order;
+}
+
+const std::vector<GraphNodeId>& TapGraph::cached_topo_order() const {
+  if (!topo_valid_) {
+    topo_cache_ = topo_order();
+    topo_pos_.assign(nodes_.size(), -1);
+    for (std::size_t i = 0; i < topo_cache_.size(); ++i)
+      topo_pos_[static_cast<std::size_t>(topo_cache_[i])] =
+          static_cast<int>(i);
+    topo_valid_ = true;
+  }
+  return topo_cache_;
+}
+
+int TapGraph::topo_position(GraphNodeId id) const {
+  cached_topo_order();
+  TAP_CHECK(id >= 0 && id < static_cast<GraphNodeId>(nodes_.size()));
+  return topo_pos_[static_cast<std::size_t>(id)];
+}
+
+std::vector<GraphNodeId> TapGraph::weight_nodes() const {
+  std::vector<GraphNodeId> out;
+  for (const auto& n : nodes_)
+    if (n.has_weight()) out.push_back(n.id);
+  return out;
+}
+
+std::string TapGraph::to_string(std::size_t max_nodes) const {
+  std::ostringstream os;
+  os << "TapGraph: " << nodes_.size() << " GraphNodes, " << num_edges()
+     << " edges, " << weight_nodes().size() << " weighted\n";
+  std::size_t shown = 0;
+  for (const auto& n : nodes_) {
+    if (shown++ >= max_nodes) {
+      os << "  ... (" << nodes_.size() - max_nodes << " more)\n";
+      break;
+    }
+    os << "  [" << n.id << "] '" << n.name << "' "
+       << op_kind_name(n.primary_kind) << " ops=" << n.ops.size()
+       << " params=" << util::human_count(static_cast<double>(n.params))
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tap::ir

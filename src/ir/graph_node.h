@@ -1,0 +1,96 @@
+// The TAP intermediate representation (§4.2).
+//
+// A GraphNode clusters the operators under one name scope — "a layer or a
+// logical group of operators, which is the basic unit for deriving the
+// sharding schedule". The TapGraph keeps the directed edges of the original
+// DAG at cluster granularity. Lowering a T5-large training graph shrinks
+// thousands of framework ops to a few hundred GraphNodes, of which the
+// weighted ones are the sharding decision points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tap::ir {
+
+using GraphNodeId = std::int32_t;
+inline constexpr GraphNodeId kInvalidGraphNode = -1;
+
+struct GraphNode {
+  GraphNodeId id = kInvalidGraphNode;
+  /// Cluster name = the shared name scope of its member ops.
+  std::string name;
+  /// Member ops of the source graph, in topological order.
+  std::vector<NodeId> ops;
+  /// Subset of `ops` that carry a weight tensor.
+  std::vector<NodeId> weight_ops;
+  /// The op kind that drives sharding-pattern lookup: the weighted op with
+  /// the most parameters, else the "heaviest" compute op in the cluster.
+  OpKind primary_kind = OpKind::kNoOp;
+  /// Trainable parameters owned by this cluster.
+  std::int64_t params = 0;
+  /// Spec of the tensor this cluster exposes to downstream clusters.
+  TensorSpec output;
+  /// Structural fingerprint: op kinds, scope-relative op names, weight
+  /// shapes and attributes — but NOT the absolute scope, so the same layer
+  /// at a different depth fingerprints identically.
+  std::uint64_t fingerprint = 0;
+  /// Producer clusters (deduplicated, in first-seen order).
+  std::vector<GraphNodeId> inputs;
+
+  bool has_weight() const { return !weight_ops.empty(); }
+};
+
+class TapGraph {
+ public:
+  TapGraph() = default;
+  explicit TapGraph(const Graph* source) : source_(source) {}
+
+  /// Appends a node, assigning its id. Inputs must already exist.
+  GraphNodeId add_node(GraphNode n);
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const GraphNode& node(GraphNodeId id) const;
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const;
+
+  GraphNodeId find(std::string_view name) const;
+
+  const std::vector<GraphNodeId>& consumers(GraphNodeId id) const;
+  std::vector<GraphNodeId> roots() const;
+  std::vector<GraphNodeId> leaves() const;
+  std::vector<GraphNodeId> topo_order() const;
+
+  /// Cached topological order / positions (rebuilt after mutation). The
+  /// planner routes thousands of candidate subgraphs; recomputing Kahn
+  /// per candidate would make the search linear in model size again.
+  const std::vector<GraphNodeId>& cached_topo_order() const;
+  int topo_position(GraphNodeId id) const;
+
+  /// Clusters carrying at least one weight tensor.
+  std::vector<GraphNodeId> weight_nodes() const;
+
+  /// The original framework graph this IR was lowered from (not owned).
+  const Graph* source() const { return source_; }
+
+  std::string to_string(std::size_t max_nodes = 50) const;
+
+ private:
+  void ensure_consumers() const;
+
+  const Graph* source_ = nullptr;
+  std::vector<GraphNode> nodes_;
+  std::unordered_map<std::string, GraphNodeId> by_name_;
+  mutable std::vector<std::vector<GraphNodeId>> consumers_;
+  mutable bool consumers_valid_ = false;
+  mutable std::vector<GraphNodeId> topo_cache_;
+  mutable std::vector<int> topo_pos_;
+  mutable bool topo_valid_ = false;
+};
+
+}  // namespace tap::ir

@@ -1,0 +1,168 @@
+// The model zoo: builders for every architecture in the paper's Table 1
+// plus the experiment workloads (T5 depth scaling, ResNet width scaling).
+//
+// These are *training graphs*: forward pass ending in a loss, plus the
+// auxiliary init/checkpoint operators a TF-1.x graph carries (which the IR
+// lowering of §4.2 trims). Only shapes and structure matter to tap — no
+// numerical weights live here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace tap::models {
+
+// ---------------------------------------------------------------------------
+// Dense transformers (T5 / BERT / GPT / ViT)
+// ---------------------------------------------------------------------------
+
+struct TransformerConfig {
+  std::string name = "t5";
+  /// Encoder layers; an encoder-decoder model gets `num_layers` of each.
+  int num_layers = 24;
+  bool encoder_decoder = true;  ///< T5-style; false = single stack
+  bool causal = false;          ///< GPT-style decoder-only stack
+  std::int64_t d_model = 1024;
+  std::int64_t d_ff = 4096;
+  std::int64_t num_heads = 16;
+  std::int64_t vocab = 32128;
+  std::int64_t batch = 16;
+  std::int64_t seq_len = 512;
+  bool with_auxiliaries = true;  ///< emit init/checkpoint aux ops
+};
+
+Graph build_transformer(const TransformerConfig& cfg);
+
+/// T5-large: 24+24 layers, d_model 1024, d_ff 4096 (~770M params).
+TransformerConfig t5_large();
+/// T5 with a custom encoder/decoder depth (Fig. 9 depth scaling).
+TransformerConfig t5_with_layers(int num_layers);
+/// BERT-large: 24 layers, d_model 1024 (~340M params).
+TransformerConfig bert_large();
+/// GPT-3: 96 layers, d_model 12288 (~175B params; graph only).
+TransformerConfig gpt3();
+/// ViT-Huge: 32 layers, d_model 1280, patch tokens (~632M params).
+TransformerConfig vit_huge();
+
+/// Appends one transformer block (pre-LN MHA + FFN) under scope
+/// "block_<index>"; returns the residual-stream output node. Exposed so
+/// tests and custom models can reuse the exact block shape.
+NodeId append_transformer_block(GraphBuilder& b, NodeId x, int index,
+                                std::int64_t num_heads, std::int64_t d_ff,
+                                bool cross_attention = false,
+                                NodeId memory = kInvalidNode);
+
+// ---------------------------------------------------------------------------
+// ResNets (width scaling via the classifier layer, Fig. 3a / Fig. 10)
+// ---------------------------------------------------------------------------
+
+struct ResNetConfig {
+  std::string name = "resnet50";
+  /// Bottleneck block counts for the four stages ({3,4,6,3} = ResNet-50).
+  std::vector<int> stage_blocks = {3, 4, 6, 3};
+  std::int64_t num_classes = 1024;
+  std::int64_t batch = 1024;
+  std::int64_t image = 224;
+  bool with_auxiliaries = true;
+};
+
+Graph build_resnet(const ResNetConfig& cfg);
+
+ResNetConfig resnet50(std::int64_t num_classes = 1024);
+ResNetConfig resnet101(std::int64_t num_classes = 1024);
+ResNetConfig resnet152(std::int64_t num_classes = 1024);
+
+// ---------------------------------------------------------------------------
+// Mixture-of-experts transformers (WideNet / V-MoE / Switch / M6)
+// ---------------------------------------------------------------------------
+
+struct MoeConfig {
+  std::string name = "moe";
+  int num_layers = 12;
+  /// Every `moe_every`-th block uses an expert FFN (1 = all blocks).
+  int moe_every = 1;
+  std::int64_t d_model = 768;
+  std::int64_t d_ff = 3072;
+  std::int64_t num_heads = 12;
+  std::int64_t num_experts = 32;
+  double capacity_factor = 1.25;
+  std::int64_t vocab = 32000;
+  std::int64_t batch = 16;
+  std::int64_t seq_len = 512;
+  bool with_auxiliaries = true;
+};
+
+Graph build_moe_transformer(const MoeConfig& cfg);
+
+/// WideNet-style: 12 blocks, 32 experts, narrow d_model (~63M params).
+MoeConfig widenet();
+/// V-MoE-style: 24 MoE blocks, 32 experts, ViT-Huge-ish width (~15B).
+MoeConfig v_moe();
+/// Switch-Transformer-style: 15 MoE blocks, 2048 experts (~1.6T).
+MoeConfig switch_transformer();
+/// M6-MoE at ~100B parameters (Fig. 15).
+MoeConfig m6_100b();
+/// M6-MoE at ~1T parameters (Fig. 15).
+MoeConfig m6_1t();
+
+// ---------------------------------------------------------------------------
+// Multimodal / speech (CLIP, wav2vec 2.0)
+// ---------------------------------------------------------------------------
+
+struct ClipConfig {
+  std::string name = "clip_base";
+  int vision_layers = 12;
+  int text_layers = 12;
+  std::int64_t d_model = 512;
+  std::int64_t d_ff = 2048;
+  std::int64_t num_heads = 8;
+  std::int64_t vocab = 49408;
+  std::int64_t batch = 64;
+  std::int64_t image = 224;
+  std::int64_t patch = 32;
+  std::int64_t text_len = 77;
+  bool with_auxiliaries = true;
+};
+
+Graph build_clip(const ClipConfig& cfg);
+ClipConfig clip_base();
+
+struct Wav2VecConfig {
+  std::string name = "wav2vec2";
+  int conv_layers = 7;
+  int transformer_layers = 24;
+  std::int64_t d_model = 1024;
+  std::int64_t d_ff = 4096;
+  std::int64_t num_heads = 16;
+  std::int64_t conv_dim = 512;
+  std::int64_t batch = 8;
+  std::int64_t samples = 16384;  ///< raw audio samples per example
+  bool with_auxiliaries = true;
+};
+
+Graph build_wav2vec(const Wav2VecConfig& cfg);
+Wav2VecConfig wav2vec2_large();
+
+// ---------------------------------------------------------------------------
+// Zoo registry (Table 1)
+// ---------------------------------------------------------------------------
+
+struct ZooEntry {
+  std::string scaling;        ///< "width" or "depth"
+  std::string task;           ///< e.g. "Vision", "Language Model"
+  std::string model;          ///< display name
+  std::string shared_kind;    ///< expected shared-subgraph kind
+  std::int64_t paper_params;  ///< parameter count the paper reports
+  int paper_multiplicity;     ///< shared-subgraph count the paper reports
+  std::function<Graph()> build;
+};
+
+/// All ten rows of Table 1, in paper order.
+std::vector<ZooEntry> table1_zoo();
+
+}  // namespace tap::models

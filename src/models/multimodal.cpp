@@ -1,0 +1,155 @@
+#include <string>
+
+#include "models/models.h"
+#include "util/check.h"
+
+namespace tap::models {
+
+namespace {
+
+/// Encoder stack of `layers` transformer blocks over `x` [B, S, D].
+NodeId encoder_stack(GraphBuilder& b, NodeId x, int layers,
+                     std::int64_t heads, std::int64_t d_ff) {
+  for (int i = 0; i < layers; ++i) {
+    x = append_transformer_block(b, x, i, heads, d_ff);
+  }
+  auto fs = b.scope("final_ln");
+  return b.layer_norm("ln", x);
+}
+
+}  // namespace
+
+Graph build_clip(const ClipConfig& cfg) {
+  GraphBuilder b(cfg.name);
+  auto root = b.scope(cfg.name);
+
+  NodeId vision_feat;
+  {
+    auto tower = b.scope("vision");
+    NodeId img = b.placeholder(
+        "inputs/images", TensorShape{cfg.batch, cfg.image, cfg.image, 3});
+    NodeId patches;
+    {
+      auto s = b.scope("patchify");
+      NodeId conv = b.conv2d("conv", img, cfg.d_model,
+                             static_cast<int>(cfg.patch),
+                             static_cast<int>(cfg.patch));
+      std::int64_t tokens = (cfg.image / cfg.patch) * (cfg.image / cfg.patch);
+      patches = b.reshape("to_tokens", conv,
+                          TensorShape{cfg.batch, tokens, cfg.d_model});
+    }
+    NodeId x = encoder_stack(b, patches, cfg.vision_layers, cfg.num_heads,
+                             cfg.d_ff);
+    auto hs = b.scope("proj");
+    // Mean-pool over tokens then project: approximates CLS pooling.
+    NodeId pooled = b.op("mean", OpKind::kReduceMean, {x},
+                         {TensorShape{cfg.batch, cfg.d_model}, DType::kF32});
+    vision_feat = b.matmul("out", pooled, cfg.d_model);
+  }
+
+  NodeId text_feat;
+  {
+    auto tower = b.scope("text");
+    NodeId ids = b.placeholder("inputs/ids",
+                               TensorShape{cfg.batch, cfg.text_len},
+                               DType::kI32);
+    NodeId emb = b.embedding("embed/tokens", ids, cfg.vocab, cfg.d_model);
+    NodeId x = encoder_stack(b, emb, cfg.text_layers, cfg.num_heads, cfg.d_ff);
+    auto hs = b.scope("proj");
+    NodeId pooled = b.op("mean", OpKind::kReduceMean, {x},
+                         {TensorShape{cfg.batch, cfg.d_model}, DType::kF32});
+    text_feat = b.matmul("out", pooled, cfg.d_model);
+  }
+
+  {
+    auto s = b.scope("head");
+    // Contrastive similarity matrix: [B, D] x [D, B] -> [B, B].
+    NodeId tt = b.transpose("text_t", text_feat, {1, 0});
+    NodeId sim = b.op("similarity", OpKind::kMatMul, {vision_feat, tt},
+                      {TensorShape{cfg.batch, cfg.batch}, DType::kF32});
+    NodeId labels = b.placeholder("labels",
+                                  TensorShape{cfg.batch, cfg.batch});
+    b.cross_entropy("loss", sim, labels);
+  }
+
+  if (cfg.with_auxiliaries) b.add_training_auxiliaries();
+  return b.take();
+}
+
+ClipConfig clip_base() { return ClipConfig{}; }
+
+Graph build_wav2vec(const Wav2VecConfig& cfg) {
+  GraphBuilder b(cfg.name);
+  auto root = b.scope(cfg.name);
+
+  NodeId x = b.placeholder("inputs/audio",
+                           TensorShape{cfg.batch, cfg.samples, 1, 1});
+  {
+    auto fe = b.scope("feature_extractor");
+    // wav2vec 2.0 conv stack: strides (5,2,2,2,2,2,2), 512 channels.
+    const int strides[7] = {5, 2, 2, 2, 2, 2, 2};
+    const int kernels[7] = {10, 3, 3, 3, 3, 2, 2};
+    for (int i = 0; i < cfg.conv_layers; ++i) {
+      auto s = b.scope("conv_" + std::to_string(i));
+      int k = kernels[i % 7];
+      int st = strides[i % 7];
+      x = b.conv2d("conv", x, cfg.conv_dim, k, st);
+      x = b.layer_norm("ln", x);
+      x = b.gelu("act", x);
+    }
+  }
+
+  const TensorShape fs = b.graph().node(x).output.shape;  // [B, T, 1, C]
+  NodeId tokens = b.reshape("to_tokens", x,
+                            TensorShape{fs.dim(0), fs.dim(1) * fs.dim(2),
+                                        fs.dim(3)});
+  {
+    auto enc = b.scope("encoder");
+    NodeId proj = b.matmul("proj/in", tokens, cfg.d_model);
+    NodeId y = encoder_stack(b, proj, cfg.transformer_layers, cfg.num_heads,
+                             cfg.d_ff);
+    auto hs = b.scope("head");
+    NodeId logits = b.matmul("proj/out", y, cfg.conv_dim);
+    NodeId labels = b.placeholder(
+        "labels", b.graph().node(logits).output.shape);
+    b.cross_entropy("loss", logits, labels);
+  }
+
+  if (cfg.with_auxiliaries) b.add_training_auxiliaries();
+  return b.take();
+}
+
+Wav2VecConfig wav2vec2_large() { return Wav2VecConfig{}; }
+
+std::vector<ZooEntry> table1_zoo() {
+  std::vector<ZooEntry> zoo;
+  zoo.push_back({"width", "Vision", "ResNet50", "Conv", 23'000'000, 50,
+                 [] { return build_resnet(resnet50(1024)); }});
+  zoo.push_back({"width", "Vision + Language", "CLIP-Base", "Transformer",
+                 63'000'000, 12, [] { return build_clip(clip_base()); }});
+  zoo.push_back({"width", "Language Model", "WideNet", "MoE layer",
+                 63'000'000, 32,
+                 [] { return build_moe_transformer(widenet()); }});
+  zoo.push_back({"width", "Vision", "ViT-Huge", "Transformer", 632'000'000,
+                 32, [] { return build_transformer(vit_huge()); }});
+  zoo.push_back({"width", "Vision", "V-MoE", "MoE layer", 15'000'000'000, 24,
+                 [] { return build_moe_transformer(v_moe()); }});
+  zoo.push_back({"depth", "Speech", "wav2vec 2.0", "Conv, Transformer",
+                 317'000'000, 24,
+                 [] { return build_wav2vec(wav2vec2_large()); }});
+  zoo.push_back({"depth", "Language Model", "BERT", "Transformer",
+                 340'000'000, 24,
+                 [] { return build_transformer(bert_large()); }});
+  zoo.push_back({"depth", "Language Model", "T5-Large", "Transformer",
+                 770'000'000, 24,
+                 [] { return build_transformer(t5_large()); }});
+  zoo.push_back({"depth", "Language Model", "GPT-3", "Transformer",
+                 175'000'000'000, 96,
+                 [] { return build_transformer(gpt3()); }});
+  zoo.push_back({"depth", "Language Model", "Switch Transformer", "MoE layer",
+                 1'571'000'000'000, 15,
+                 [] { return build_moe_transformer(switch_transformer()); }});
+  return zoo;
+}
+
+}  // namespace tap::models

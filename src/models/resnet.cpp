@@ -1,0 +1,110 @@
+#include <string>
+
+#include "models/models.h"
+#include "util/check.h"
+
+namespace tap::models {
+
+namespace {
+
+/// Standard bottleneck residual block (1x1 down, 3x3, 1x1 up).
+NodeId bottleneck(GraphBuilder& b, NodeId x, int index, std::int64_t mid,
+                  std::int64_t out, int stride) {
+  auto blk = b.scope("block_" + std::to_string(index));
+  const Graph& g = b.graph();
+  NodeId shortcut = x;
+  bool reshape_needed =
+      stride != 1 || g.node(x).output.shape.dim(3) != out;
+  if (reshape_needed) {
+    auto s = b.scope("shortcut");
+    shortcut = b.conv2d("conv", x, out, 1, stride);
+    shortcut = b.batch_norm("bn", shortcut);
+  }
+  NodeId y;
+  {
+    auto s = b.scope("conv_1");
+    y = b.conv2d("conv", x, mid, 1, 1);
+    y = b.batch_norm("bn", y);
+    y = b.relu("relu", y);
+  }
+  {
+    auto s = b.scope("conv_2");
+    y = b.conv2d("conv", y, mid, 3, stride);
+    y = b.batch_norm("bn", y);
+    y = b.relu("relu", y);
+  }
+  {
+    auto s = b.scope("conv_3");
+    y = b.conv2d("conv", y, out, 1, 1);
+    y = b.batch_norm("bn", y);
+  }
+  NodeId sum = b.add("residual", shortcut, y);
+  return b.relu("out", sum);
+}
+
+}  // namespace
+
+Graph build_resnet(const ResNetConfig& cfg) {
+  TAP_CHECK_EQ(cfg.stage_blocks.size(), 4u);
+  GraphBuilder b(cfg.name);
+  auto root = b.scope(cfg.name);
+
+  NodeId x = b.placeholder("inputs/images",
+                           TensorShape{cfg.batch, cfg.image, cfg.image, 3});
+  {
+    auto s = b.scope("stem");
+    x = b.conv2d("conv", x, 64, 7, 2);
+    x = b.batch_norm("bn", x);
+    x = b.relu("relu", x);
+    x = b.max_pool("pool", x, 3, 2);
+  }
+
+  const std::int64_t stage_out[4] = {256, 512, 1024, 2048};
+  for (int stage = 0; stage < 4; ++stage) {
+    auto s = b.scope("stage_" + std::to_string(stage + 1));
+    std::int64_t mid = stage_out[stage] / 4;
+    for (int i = 0; i < cfg.stage_blocks[static_cast<std::size_t>(stage)];
+         ++i) {
+      int stride = (i == 0 && stage > 0) ? 2 : 1;
+      x = bottleneck(b, x, i, mid, stage_out[stage], stride);
+    }
+  }
+
+  {
+    auto s = b.scope("head");
+    NodeId pooled = b.global_avg_pool("gap", x);  // [B, 2048]
+    NodeId logits = b.matmul("fc/proj", pooled, cfg.num_classes);
+    NodeId labels =
+        b.placeholder("labels", TensorShape{cfg.batch, cfg.num_classes});
+    b.cross_entropy("loss", logits, labels);
+  }
+
+  if (cfg.with_auxiliaries) b.add_training_auxiliaries();
+  return b.take();
+}
+
+ResNetConfig resnet50(std::int64_t num_classes) {
+  ResNetConfig cfg;
+  cfg.name = "resnet50";
+  cfg.stage_blocks = {3, 4, 6, 3};
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+ResNetConfig resnet101(std::int64_t num_classes) {
+  ResNetConfig cfg;
+  cfg.name = "resnet101";
+  cfg.stage_blocks = {3, 4, 23, 3};
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+ResNetConfig resnet152(std::int64_t num_classes) {
+  ResNetConfig cfg;
+  cfg.name = "resnet152";
+  cfg.stage_blocks = {3, 8, 36, 3};
+  cfg.num_classes = num_classes;
+  return cfg;
+}
+
+}  // namespace tap::models

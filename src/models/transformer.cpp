@@ -1,0 +1,194 @@
+#include <string>
+
+#include "models/models.h"
+#include "util/check.h"
+
+namespace tap::models {
+
+namespace {
+
+/// Multi-head attention under the current scope. `memory` supplies K/V for
+/// cross-attention; self-attention reads them from `x`.
+NodeId attention(GraphBuilder& b, NodeId x, std::int64_t num_heads,
+                 NodeId memory) {
+  const Graph& g = b.graph();
+  TensorShape xs = g.node(x).output.shape;  // [B, S, D]
+  std::int64_t B = xs.dim(0), S = xs.dim(1), D = xs.dim(2);
+  TAP_CHECK_EQ(D % num_heads, 0);
+  std::int64_t dh = D / num_heads;
+  NodeId kv_src = memory == kInvalidNode ? x : memory;
+  std::int64_t Skv = g.node(kv_src).output.shape.dim(1);
+
+  NodeId q = b.matmul("q/proj", x, D);
+  NodeId k = b.matmul("k/proj", kv_src, D);
+  NodeId v = b.matmul("v/proj", kv_src, D);
+
+  auto heads = [&](const std::string& nm, NodeId t, std::int64_t s) {
+    NodeId r = b.reshape(nm + "/split_heads", t, TensorShape{B, s, num_heads, dh});
+    return b.transpose(nm + "/to_bhsd", r, {0, 2, 1, 3});  // [B, H, s, dh]
+  };
+  NodeId qh = heads("q", q, S);
+  NodeId kh = heads("k", k, Skv);
+  NodeId vh = heads("v", v, Skv);
+
+  NodeId kt = b.transpose("k/transpose", kh, {0, 1, 3, 2});   // [B,H,dh,Skv]
+  NodeId scores = b.batch_matmul("scores", qh, kt);           // [B,H,S,Skv]
+  NodeId scaled = b.unary("scale", OpKind::kScale, scores);
+  NodeId probs = b.softmax("probs", scaled);
+  NodeId drop = b.dropout("attn_drop", probs);
+  NodeId ctx = b.batch_matmul("context", drop, vh);           // [B,H,S,dh]
+  NodeId merged = b.transpose("merge/to_bshd", ctx, {0, 2, 1, 3});
+  NodeId flat = b.reshape("merge/flatten", merged, TensorShape{B, S, D});
+  return b.matmul("o/proj", flat, D);
+}
+
+/// Feed-forward network (dense): LN handled by caller.
+NodeId ffn(GraphBuilder& b, NodeId x, std::int64_t d_ff) {
+  std::int64_t D = b.graph().node(x).output.shape.dim(-1);
+  NodeId wi = b.matmul("wi/proj", x, d_ff);
+  NodeId act = b.gelu("act", wi);
+  NodeId wo = b.matmul("wo/proj", act, D);
+  return b.dropout("drop", wo);
+}
+
+/// One stack ("encoder"/"decoder") of `n` blocks; returns the output node.
+NodeId stack(GraphBuilder& b, NodeId x, int n, const TransformerConfig& cfg,
+             bool cross, NodeId memory) {
+  for (int i = 0; i < n; ++i) {
+    x = append_transformer_block(b, x, i, cfg.num_heads, cfg.d_ff, cross,
+                                 memory);
+  }
+  auto s = b.scope("final_ln");
+  return b.layer_norm("ln", x);
+}
+
+}  // namespace
+
+NodeId append_transformer_block(GraphBuilder& b, NodeId x, int index,
+                                std::int64_t num_heads, std::int64_t d_ff,
+                                bool cross_attention, NodeId memory) {
+  auto blk = b.scope("block_" + std::to_string(index));
+  {
+    auto s = b.scope("mha");
+    NodeId ln = b.layer_norm("ln", x);
+    NodeId att = attention(b, ln, num_heads, kInvalidNode);
+    NodeId drop = b.dropout("drop", att);
+    x = b.add("residual", x, drop);
+  }
+  if (cross_attention) {
+    auto s = b.scope("cross");
+    NodeId ln = b.layer_norm("ln", x);
+    NodeId att = attention(b, ln, num_heads, memory);
+    NodeId drop = b.dropout("drop", att);
+    x = b.add("residual", x, drop);
+  }
+  {
+    auto s = b.scope("ffn");
+    NodeId ln = b.layer_norm("ln", x);
+    NodeId f = ffn(b, ln, d_ff);
+    x = b.add("residual", x, f);
+  }
+  return x;
+}
+
+Graph build_transformer(const TransformerConfig& cfg) {
+  GraphBuilder b(cfg.name);
+  auto root = b.scope(cfg.name);
+
+  NodeId enc_out = kInvalidNode;
+  NodeId ids = b.placeholder("inputs/ids",
+                             TensorShape{cfg.batch, cfg.seq_len}, DType::kI32);
+  {
+    auto s = b.scope(cfg.encoder_decoder || !cfg.causal ? "encoder"
+                                                        : "decoder");
+    NodeId emb = b.embedding("embed/tokens", ids, cfg.vocab, cfg.d_model);
+    NodeId x = b.dropout("embed/drop", emb);
+    enc_out = stack(b, x, cfg.num_layers, cfg, /*cross=*/false, kInvalidNode);
+  }
+
+  NodeId final_out = enc_out;
+  if (cfg.encoder_decoder) {
+    NodeId dec_ids = b.placeholder(
+        "inputs/decoder_ids", TensorShape{cfg.batch, cfg.seq_len}, DType::kI32);
+    auto s = b.scope("decoder");
+    NodeId emb =
+        b.embedding("embed/tokens", dec_ids, cfg.vocab, cfg.d_model);
+    NodeId x = b.dropout("embed/drop", emb);
+    for (int i = 0; i < cfg.num_layers; ++i) {
+      x = append_transformer_block(b, x, i, cfg.num_heads, cfg.d_ff,
+                                   /*cross_attention=*/true, enc_out);
+    }
+    {
+      auto fs = b.scope("final_ln");
+      x = b.layer_norm("ln", x);
+    }
+    final_out = x;
+  }
+
+  {
+    auto s = b.scope("head");
+    NodeId logits = b.matmul("lm/proj", final_out, cfg.vocab);
+    NodeId labels = b.placeholder(
+        "labels", TensorShape{cfg.batch, cfg.seq_len, cfg.vocab});
+    b.cross_entropy("loss", logits, labels);
+  }
+
+  if (cfg.with_auxiliaries) b.add_training_auxiliaries();
+  return b.take();
+}
+
+TransformerConfig t5_large() {
+  TransformerConfig cfg;
+  cfg.name = "t5_large";
+  return cfg;
+}
+
+TransformerConfig t5_with_layers(int num_layers) {
+  TransformerConfig cfg = t5_large();
+  cfg.name = "t5_" + std::to_string(num_layers) + "l";
+  cfg.num_layers = num_layers;
+  return cfg;
+}
+
+TransformerConfig bert_large() {
+  TransformerConfig cfg;
+  cfg.name = "bert_large";
+  cfg.encoder_decoder = false;
+  cfg.num_layers = 24;
+  cfg.d_model = 1024;
+  cfg.d_ff = 4096;
+  cfg.num_heads = 16;
+  cfg.vocab = 30522;
+  return cfg;
+}
+
+TransformerConfig gpt3() {
+  TransformerConfig cfg;
+  cfg.name = "gpt3";
+  cfg.encoder_decoder = false;
+  cfg.causal = true;
+  cfg.num_layers = 96;
+  cfg.d_model = 12288;
+  cfg.d_ff = 4 * 12288;
+  cfg.num_heads = 96;
+  cfg.vocab = 50257;
+  cfg.batch = 4;
+  cfg.seq_len = 2048;
+  return cfg;
+}
+
+TransformerConfig vit_huge() {
+  TransformerConfig cfg;
+  cfg.name = "vit_huge";
+  cfg.encoder_decoder = false;
+  cfg.num_layers = 32;
+  cfg.d_model = 1280;
+  cfg.d_ff = 5120;
+  cfg.num_heads = 16;
+  cfg.vocab = 257;  // 16x16 patch vocabulary stand-in + class token
+  cfg.batch = 64;
+  cfg.seq_len = 257;
+  return cfg;
+}
+
+}  // namespace tap::models

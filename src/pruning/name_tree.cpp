@@ -1,0 +1,74 @@
+#include "pruning/name_tree.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tap::pruning {
+
+NameTree::NameTree(const ir::TapGraph& tg) {
+  root_.prefix = "";
+  root_.depth = 0;
+  for (const auto& gn : tg.nodes()) {
+    std::vector<std::string> parts = util::split(gn.name, '/');
+    TreeNode* cur = &root_;
+    ++cur->subtree_size;
+    for (const std::string& part : parts) {
+      auto& child = cur->children[part];
+      if (!child) {
+        child = std::make_unique<TreeNode>();
+        child->component = part;
+        child->prefix = cur->prefix.empty() ? part : cur->prefix + "/" + part;
+        child->depth = cur->depth + 1;
+        max_depth_ = std::max(max_depth_, child->depth);
+      }
+      cur = child.get();
+      ++cur->subtree_size;
+    }
+    cur->graph_nodes.push_back(gn.id);
+  }
+}
+
+std::vector<const NameTree::TreeNode*> NameTree::level(
+    std::size_t depth) const {
+  std::vector<const TreeNode*> out;
+  std::vector<const TreeNode*> stack = {&root_};
+  while (!stack.empty()) {
+    const TreeNode* n = stack.back();
+    stack.pop_back();
+    if (n->depth == depth) {
+      if (n != &root_ || depth == 0) out.push_back(n);
+      continue;
+    }
+    for (const auto& [name, child] : n->children)
+      stack.push_back(child.get());
+  }
+  return out;
+}
+
+std::string NameTree::to_string(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t lines = 0;
+  // Depth-first, children in lexical order (std::map).
+  struct Frame {
+    const TreeNode* node;
+  };
+  std::vector<const TreeNode*> stack;
+  for (auto it = root_.children.rbegin(); it != root_.children.rend(); ++it)
+    stack.push_back(it->second.get());
+  while (!stack.empty()) {
+    const TreeNode* n = stack.back();
+    stack.pop_back();
+    if (lines++ >= max_lines) {
+      os << "...\n";
+      break;
+    }
+    os << std::string(2 * (n->depth - 1), ' ') << n->component << " ("
+       << n->subtree_size << ")\n";
+    for (auto it = n->children.rbegin(); it != n->children.rend(); ++it)
+      stack.push_back(it->second.get());
+  }
+  return os.str();
+}
+
+}  // namespace tap::pruning

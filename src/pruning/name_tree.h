@@ -1,0 +1,52 @@
+// NameTree: the "nodeTree" of Algorithm 1 — a trie over the '/'-separated
+// name-scope components of a TapGraph's GraphNodes. prune_graph() uses the
+// equivalent prefix grouping inline for speed; this explicit structure
+// serves introspection (how is the model's scope hierarchy shaped, where
+// does repetition live) and the pruning micro-analysis in the benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/graph_node.h"
+
+namespace tap::pruning {
+
+class NameTree {
+ public:
+  struct TreeNode {
+    std::string component;           ///< last path component ("block_3")
+    std::string prefix;              ///< full path from the root
+    std::size_t depth = 0;           ///< path_depth(prefix)
+    /// GraphNodes whose name equals `prefix` exactly.
+    std::vector<ir::GraphNodeId> graph_nodes;
+    /// GraphNodes in this subtree (including `graph_nodes`).
+    std::size_t subtree_size = 0;
+    std::map<std::string, std::unique_ptr<TreeNode>> children;
+  };
+
+  /// Builds the trie over every GraphNode name in `tg`.
+  explicit NameTree(const ir::TapGraph& tg);
+
+  const TreeNode& root() const { return root_; }
+
+  /// All tree nodes at exactly `depth` (the per-depth block roots
+  /// Algorithm 1 iterates over).
+  std::vector<const TreeNode*> level(std::size_t depth) const;
+
+  std::size_t max_depth() const { return max_depth_; }
+
+  /// Scope hierarchy rendered with subtree sizes, e.g.
+  ///   t5/encoder (134)
+  ///     block_0 (11)
+  std::string to_string(std::size_t max_lines = 100) const;
+
+ private:
+  TreeNode root_;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace tap::pruning

@@ -1,0 +1,185 @@
+#include "pruning/prune.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace tap::pruning {
+
+namespace {
+
+using ir::GraphNodeId;
+using ir::TapGraph;
+
+/// (relname, GraphNodeId) members of one block, sorted by relname.
+struct Block {
+  std::string prefix;
+  std::vector<std::pair<std::string, GraphNodeId>> members;
+  std::uint64_t signature = 0;
+};
+
+std::string relname(const std::string& name, const std::string& prefix) {
+  if (name == prefix) return ".";
+  return util::replace_path_prefix(name, prefix, "");
+}
+
+void fingerprint_block(const TapGraph& tg, Block* blk) {
+  std::sort(blk->members.begin(), blk->members.end());
+  std::uint64_t h = util::kFnvOffset;
+  for (const auto& [rel, id] : blk->members) {
+    h = util::hash_combine(h, util::hash_str(rel));
+    h = util::hash_combine(h, tg.node(id).fingerprint);
+  }
+  blk->signature = util::hash_combine(h, blk->members.size());
+}
+
+SubgraphFamily singleton_family(const TapGraph& tg, GraphNodeId id) {
+  const auto& n = tg.node(id);
+  SubgraphFamily fam;
+  fam.representative = n.name;
+  fam.instances = {n.name};
+  fam.relnames = {"."};
+  fam.member_nodes = {id};
+  fam.instance_nodes = {{id}};
+  fam.signature = n.fingerprint;
+  fam.params = n.params;
+  return fam;
+}
+
+SubgraphFamily block_family(const TapGraph& tg, std::vector<Block> blocks) {
+  // Blocks arrive with identical signatures; order instances by prefix so
+  // the representative is deterministic.
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.prefix < b.prefix; });
+  SubgraphFamily fam;
+  fam.signature = blocks.front().signature;
+  fam.representative = blocks.front().prefix;
+  for (const auto& [rel, id] : blocks.front().members) {
+    fam.relnames.push_back(rel);
+    fam.member_nodes.push_back(id);
+    fam.params += tg.node(id).params;
+  }
+  for (const Block& blk : blocks) {
+    fam.instances.push_back(blk.prefix);
+    std::vector<GraphNodeId> ids;
+    ids.reserve(blk.members.size());
+    // Guard against hash collisions: relnames must match exactly.
+    TAP_CHECK_EQ(blk.members.size(), fam.relnames.size());
+    for (std::size_t i = 0; i < blk.members.size(); ++i) {
+      TAP_CHECK(blk.members[i].first == fam.relnames[i])
+          << "signature collision between blocks '" << fam.representative
+          << "' and '" << blk.prefix << "'";
+      ids.push_back(blk.members[i].second);
+    }
+    fam.instance_nodes.push_back(std::move(ids));
+  }
+  return fam;
+}
+
+}  // namespace
+
+std::vector<ir::GraphNodeId> SubgraphFamily::weighted_members(
+    const ir::TapGraph& tg) const {
+  std::vector<ir::GraphNodeId> out;
+  for (ir::GraphNodeId id : member_nodes)
+    if (tg.node(id).has_weight()) out.push_back(id);
+  return out;
+}
+
+int PruneResult::max_multiplicity() const {
+  int best = 0;
+  for (const auto& f : families) best = std::max(best, f.multiplicity());
+  return best;
+}
+
+std::size_t PruneResult::covered_nodes() const {
+  std::size_t total = 0;
+  for (const auto& f : families)
+    total += f.relnames.size() * f.instances.size();
+  return total;
+}
+
+PruneResult prune_graph(const ir::TapGraph& tg, const PruneOptions& opts) {
+  PruneResult result;
+  result.total_graph_nodes = tg.num_nodes();
+
+  if (opts.min_duplicate <= 1 || tg.num_nodes() == 0) {
+    // Threshold 1 = unpruned search space (§6.2.1).
+    for (const auto& n : tg.nodes())
+      result.families.push_back(singleton_family(tg, n.id));
+    result.fold_depth = 0;
+    return result;
+  }
+
+  std::size_t max_depth = 0;
+  for (const auto& n : tg.nodes())
+    max_depth = std::max(max_depth, util::path_depth(n.name));
+
+  // Find the shallowest depth with a qualifying block family — these are
+  // the largest repeated subgraphs ("nodeTree" + "findSimilarBlk").
+  int chosen_depth = 0;
+  std::vector<Block> chosen_blocks;
+  for (std::size_t d = 1; d <= max_depth && chosen_depth == 0; ++d) {
+    std::map<std::string, Block> by_prefix;  // ordered for determinism
+    for (const auto& n : tg.nodes()) {
+      if (util::path_depth(n.name) < d) continue;  // shallower than blocks
+      std::string prefix = util::path_prefix(n.name, d);
+      Block& blk = by_prefix[prefix];
+      blk.prefix = prefix;
+      blk.members.emplace_back(relname(n.name, prefix), n.id);
+    }
+    std::unordered_map<std::uint64_t, int> sig_count;
+    for (auto& [prefix, blk] : by_prefix) {
+      fingerprint_block(tg, &blk);
+      ++sig_count[blk.signature];
+    }
+    for (const auto& [sig, count] : sig_count) {
+      if (count >= opts.min_duplicate) {
+        chosen_depth = static_cast<int>(d);
+        break;
+      }
+    }
+    if (chosen_depth != 0) {
+      chosen_blocks.reserve(by_prefix.size());
+      for (auto& [prefix, blk] : by_prefix)
+        chosen_blocks.push_back(std::move(blk));
+    }
+  }
+
+  if (chosen_depth == 0) {
+    // No repetition anywhere: behave like the unpruned case.
+    for (const auto& n : tg.nodes())
+      result.families.push_back(singleton_family(tg, n.id));
+    return result;
+  }
+
+  result.fold_depth = chosen_depth;
+
+  // Nodes shallower than the fold depth become singleton families.
+  for (const auto& n : tg.nodes()) {
+    if (util::path_depth(n.name) <
+        static_cast<std::size_t>(chosen_depth)) {
+      result.families.push_back(singleton_family(tg, n.id));
+    }
+  }
+
+  // Group blocks by signature; fold families meeting the threshold, keep
+  // the rest as multiplicity-1 families.
+  std::map<std::uint64_t, std::vector<Block>> by_sig;
+  for (Block& blk : chosen_blocks) by_sig[blk.signature].push_back(std::move(blk));
+  for (auto& [sig, blocks] : by_sig) {
+    if (static_cast<int>(blocks.size()) >= opts.min_duplicate) {
+      result.families.push_back(block_family(tg, std::move(blocks)));
+    } else {
+      for (Block& blk : blocks)
+        result.families.push_back(block_family(tg, {std::move(blk)}));
+    }
+  }
+  return result;
+}
+
+}  // namespace tap::pruning

@@ -1,0 +1,66 @@
+// Graph pruning using shared subgraphs (§4.3, Algorithm 1).
+//
+// The TapGraph's GraphNode names form a tree of name scopes. For each depth
+// we group GraphNodes into blocks by their longest common prefix at that
+// depth, fingerprint each block's composition, and look for blocks that
+// repeat at least `min_duplicate` times ("findSimilarBlk"). The chosen fold
+// depth is the shallowest one with a qualifying family — i.e. the largest
+// repeated block — which for a T5 collapses 24 encoder blocks and 24
+// decoder blocks into one searchable template each.
+//
+// The result partitions every GraphNode into exactly one SubgraphFamily;
+// the sharding search runs once per family and the decision is replayed on
+// every instance (plan expansion, src/rewrite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph_node.h"
+
+namespace tap::pruning {
+
+struct PruneOptions {
+  /// Minimum number of identical blocks before they are folded. Values
+  /// <= 1 disable pruning entirely (every GraphNode becomes its own
+  /// singleton family), matching the paper's "threshold 1 = unpruned".
+  int min_duplicate = 2;
+};
+
+/// A set of structurally identical blocks. `relnames` are the GraphNode
+/// names inside a block relative to the block prefix ("." = the block
+/// prefix itself), sorted; `member_nodes` are the representative instance's
+/// GraphNodes aligned with `relnames`; `instance_nodes[i]` aligns instance
+/// i the same way (instance 0 is the representative).
+struct SubgraphFamily {
+  std::string representative;
+  std::vector<std::string> instances;
+  std::vector<std::string> relnames;
+  std::vector<ir::GraphNodeId> member_nodes;
+  std::vector<std::vector<ir::GraphNodeId>> instance_nodes;
+  std::uint64_t signature = 0;
+  std::int64_t params = 0;  ///< trainable params of one instance
+
+  int multiplicity() const { return static_cast<int>(instances.size()); }
+  /// Weighted GraphNodes of the representative (the sharding decision
+  /// points for this family).
+  std::vector<ir::GraphNodeId> weighted_members(const ir::TapGraph& tg) const;
+};
+
+struct PruneResult {
+  /// Name-tree depth at which blocks were folded; 0 = unpruned.
+  int fold_depth = 0;
+  std::vector<SubgraphFamily> families;
+  std::size_t total_graph_nodes = 0;
+
+  std::size_t unique_subgraphs() const { return families.size(); }
+  /// Largest family multiplicity (the headline fold factor).
+  int max_multiplicity() const;
+  /// families.size() summed over instances == total_graph_nodes coverage.
+  std::size_t covered_nodes() const;
+};
+
+PruneResult prune_graph(const ir::TapGraph& tg, const PruneOptions& opts = {});
+
+}  // namespace tap::pruning

@@ -1,0 +1,63 @@
+#include "rewrite/packing.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tap::rewrite {
+
+std::int64_t PackingResult::total_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& bucket : buckets) b += bucket.bytes;
+  return b;
+}
+
+std::int64_t PackingResult::max_message_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& bucket : buckets) b = std::max(b, bucket.bytes);
+  return b;
+}
+
+PackingResult pack_gradients(const std::vector<GradientTensor>& gradients,
+                             const PackingOptions& opts) {
+  TAP_CHECK_GT(opts.fuse_threshold, 0);
+  TAP_CHECK_GE(opts.chunk_bytes, opts.fuse_threshold);
+
+  PackingResult result;
+  result.messages_before = gradients.size();
+
+  GradientBucket pending;
+  auto flush = [&]() {
+    if (pending.gradient_indices.empty()) return;
+    pending.fused = pending.gradient_indices.size() > 1;
+    result.buckets.push_back(std::move(pending));
+    pending = GradientBucket{};
+  };
+
+  for (std::size_t i = 0; i < gradients.size(); ++i) {
+    const GradientTensor& g = gradients[i];
+    if (g.bytes >= opts.fuse_threshold) {
+      // Large packets travel alone (they already amortize setup cost);
+      // small packets keep accumulating across them — backward order is
+      // only approximate once packets are in flight anyway.
+      GradientBucket solo;
+      solo.gradient_indices = {i};
+      solo.bytes = g.bytes;
+      result.buckets.push_back(std::move(solo));
+      continue;
+    }
+    ++result.fused_gradients;
+    // Segment: never let a fused bucket exceed the chunk size, so the
+    // weight-update stage can start on earlier chunks while later ones
+    // are still in flight (§4.7.1's pipelining).
+    if (pending.bytes + g.bytes > opts.chunk_bytes) flush();
+    pending.gradient_indices.push_back(i);
+    pending.bytes += g.bytes;
+  }
+  flush();
+
+  result.messages_after = result.buckets.size();
+  return result;
+}
+
+}  // namespace tap::rewrite

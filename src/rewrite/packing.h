@@ -1,0 +1,43 @@
+// Gradient packing (§4.7.1): fuse gradient packets smaller than the
+// threshold μ into larger buckets to amortize communicator setup, then
+// segment buckets into equally-sized chunks so gradient synchronization
+// pipelines with the weight-update stage instead of deferring it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rewrite/rewrite.h"
+
+namespace tap::rewrite {
+
+struct PackingOptions {
+  /// μ: gradients smaller than this are fused (bytes).
+  std::int64_t fuse_threshold = 4ll << 20;
+  /// Maximum fused-bucket chunk size; buckets are segmented into equal
+  /// chunks no larger than this (bytes).
+  std::int64_t chunk_bytes = 32ll << 20;
+};
+
+struct GradientBucket {
+  std::vector<std::size_t> gradient_indices;  ///< into the input vector
+  std::int64_t bytes = 0;
+  bool fused = false;  ///< true when this bucket merged several packets
+};
+
+struct PackingResult {
+  std::vector<GradientBucket> buckets;
+  std::size_t messages_before = 0;
+  std::size_t messages_after = 0;
+  std::size_t fused_gradients = 0;
+
+  std::int64_t total_bytes() const;
+  /// Largest single message after packing.
+  std::int64_t max_message_bytes() const;
+};
+
+/// Packs `gradients` (in backward materialization order) into buckets.
+PackingResult pack_gradients(const std::vector<GradientTensor>& gradients,
+                             const PackingOptions& opts = {});
+
+}  // namespace tap::rewrite

@@ -1,0 +1,245 @@
+#include "runtime/autodiff.h"
+
+#include "runtime/backward_kernels.h"
+#include "runtime/kernels.h"
+#include "util/check.h"
+
+namespace tap::runtime {
+
+namespace {
+
+/// Narrow `dy` along `axis` starting at `offset` for `extent` entries —
+/// concat's backward when input sizes differ.
+Tensor narrow(const Tensor& dy, int axis, std::int64_t offset,
+              std::int64_t extent) {
+  int a = axis < 0 ? axis + dy.rank() : axis;
+  TensorShape out_shape = dy.shape();
+  out_shape.set_dim(a, extent);
+  Tensor out(out_shape);
+  const std::int64_t inner = dy.stride(a);
+  const std::int64_t src_block = dy.shape().dim(a) * inner;
+  const std::int64_t dst_block = extent * inner;
+  const std::int64_t outer = dy.num_elements() / src_block;
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* src = dy.data() + o * src_block + offset * inner;
+    std::copy(src, src + dst_block, out.data() + o * dst_block);
+  }
+  return out;
+}
+
+}  // namespace
+
+GradientExecutor::Result GradientExecutor::gradients(
+    const std::unordered_map<std::string, Tensor>& feeds) const {
+  // --- forward, keeping every intermediate by node id -----------------------
+  auto by_name = run(feeds);
+  std::vector<const Tensor*> value(g_.num_nodes(), nullptr);
+  for (const Node& n : g_.nodes()) {
+    auto it = by_name.find(n.name);
+    if (it != by_name.end())
+      value[static_cast<std::size_t>(n.id)] = &it->second;
+  }
+
+  // --- seed at the unique CrossEntropy leaf ---------------------------------
+  NodeId loss_id = kInvalidNode;
+  for (const Node& n : g_.nodes()) {
+    if (n.kind != OpKind::kCrossEntropy) continue;
+    TAP_CHECK(loss_id == kInvalidNode)
+        << "gradients() requires a single CrossEntropy loss";
+    loss_id = n.id;
+  }
+  TAP_CHECK(loss_id != kInvalidNode) << "graph has no CrossEntropy loss";
+
+  Result result;
+  result.loss = (*value[static_cast<std::size_t>(loss_id)])[0];
+
+  std::vector<Tensor> grad(g_.num_nodes());
+  std::vector<bool> has_grad(g_.num_nodes(), false);
+  auto accumulate = [&](NodeId id, Tensor g) {
+    std::size_t i = static_cast<std::size_t>(id);
+    if (!has_grad[i]) {
+      grad[i] = std::move(g);
+      has_grad[i] = true;
+    } else {
+      grad[i].accumulate(g);
+    }
+  };
+
+  {
+    Tensor seed(TensorShape::scalar());
+    seed[0] = 1.0f;
+    accumulate(loss_id, std::move(seed));
+  }
+
+  // --- reverse topological sweep --------------------------------------------
+  const std::vector<NodeId> topo = g_.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Node& n = g_.node(*it);
+    if (is_aux(n.kind)) continue;
+    std::size_t idx = static_cast<std::size_t>(n.id);
+    if (!has_grad[idx]) continue;  // output unused by the loss
+    const Tensor& dy = grad[idx];
+    auto in_val = [&](std::size_t i) -> const Tensor& {
+      const Tensor* t = value[static_cast<std::size_t>(n.inputs[i])];
+      TAP_CHECK(t != nullptr);
+      return *t;
+    };
+
+    switch (n.kind) {
+      case OpKind::kPlaceholder:
+      case OpKind::kConst:
+        break;
+      case OpKind::kMatMul:
+        if (n.has_weight()) {
+          const Tensor w = weight_for(n);
+          MatMulGrads g = w.rank() == 3
+                              ? expert_matmul_backward(in_val(0), w, dy)
+                              : matmul_backward(in_val(0), w, dy);
+          accumulate(n.inputs[0], std::move(g.dx));
+          if (n.trainable) result.weight_grads[n.name] = std::move(g.dw);
+        } else {
+          MatMulGrads g = matmul_backward(in_val(0), in_val(1), dy);
+          accumulate(n.inputs[0], std::move(g.dx));
+          accumulate(n.inputs[1], std::move(g.dw));
+        }
+        break;
+      case OpKind::kBatchMatMul: {
+        BatchMatMulGrads g = batch_matmul_backward(in_val(0), in_val(1), dy);
+        accumulate(n.inputs[0], std::move(g.da));
+        accumulate(n.inputs[1], std::move(g.db));
+        break;
+      }
+      case OpKind::kConv2D: {
+        MatMulGrads g = conv2d_backward(
+            in_val(0), weight_for(n), dy,
+            static_cast<int>(n.attr_or("stride", 1)));
+        accumulate(n.inputs[0], std::move(g.dx));
+        if (n.trainable) result.weight_grads[n.name] = std::move(g.dw);
+        break;
+      }
+      case OpKind::kEmbedding:
+        if (n.trainable) {
+          result.weight_grads[n.name] =
+              embedding_backward(in_val(0), n.weight->shape, dy);
+        }
+        break;
+      case OpKind::kLayerNorm:
+      case OpKind::kBatchNorm: {
+        MatMulGrads g = layer_norm_backward(in_val(0), weight_for(n), dy);
+        accumulate(n.inputs[0], std::move(g.dx));
+        if (n.trainable) result.weight_grads[n.name] = std::move(g.dw);
+        break;
+      }
+      case OpKind::kBiasAdd: {
+        MatMulGrads g = bias_add_backward(in_val(0), dy);
+        accumulate(n.inputs[0], std::move(g.dx));
+        if (n.has_weight()) {
+          if (n.trainable) result.weight_grads[n.name] = std::move(g.dw);
+        } else {
+          accumulate(n.inputs[1], std::move(g.dw));
+        }
+        break;
+      }
+      case OpKind::kMoeRouter: {
+        // y = softmax(x @ w): chain softmax and matmul backward.
+        const Tensor& y = *value[idx];
+        Tensor dz = softmax_backward(y, dy);
+        MatMulGrads g = matmul_backward(in_val(0), weight_for(n), dz);
+        accumulate(n.inputs[0], std::move(g.dx));
+        if (n.trainable) result.weight_grads[n.name] = std::move(g.dw);
+        break;
+      }
+      case OpKind::kSoftmax:
+        accumulate(n.inputs[0], softmax_backward(*value[idx], dy));
+        break;
+      case OpKind::kAdd:
+        accumulate(n.inputs[0], dy);
+        accumulate(n.inputs[1], dy);
+        break;
+      case OpKind::kSub: {
+        accumulate(n.inputs[0], dy);
+        Tensor neg(dy.shape());
+        for (std::int64_t i = 0; i < dy.num_elements(); ++i) neg[i] = -dy[i];
+        accumulate(n.inputs[1], std::move(neg));
+        break;
+      }
+      case OpKind::kMul: {
+        const Tensor& a = in_val(0);
+        const Tensor& b = in_val(1);
+        Tensor da(dy.shape()), db(dy.shape());
+        for (std::int64_t i = 0; i < dy.num_elements(); ++i) {
+          da[i] = dy[i] * b[i];
+          db[i] = dy[i] * a[i];
+        }
+        accumulate(n.inputs[0], std::move(da));
+        accumulate(n.inputs[1], std::move(db));
+        break;
+      }
+      case OpKind::kDiv: {
+        const Tensor& a = in_val(0);
+        const Tensor& b = in_val(1);
+        Tensor da(dy.shape()), db(dy.shape());
+        for (std::int64_t i = 0; i < dy.num_elements(); ++i) {
+          const float denom = b[i] + 1e-5f;
+          da[i] = dy[i] / denom;
+          db[i] = -dy[i] * a[i] / (denom * denom);
+        }
+        accumulate(n.inputs[0], std::move(da));
+        accumulate(n.inputs[1], std::move(db));
+        break;
+      }
+      case OpKind::kReshape:
+        accumulate(n.inputs[0], dy.reshaped(in_val(0).shape()));
+        break;
+      case OpKind::kTranspose: {
+        std::vector<int> perm;
+        for (int i = 0;; ++i) {
+          auto a = n.attrs.find("perm" + std::to_string(i));
+          if (a == n.attrs.end()) break;
+          perm.push_back(static_cast<int>(a->second));
+        }
+        accumulate(n.inputs[0], transpose_backward(dy, perm));
+        break;
+      }
+      case OpKind::kConcat: {
+        const int axis = static_cast<int>(n.attr_or("axis", 0));
+        std::int64_t offset = 0;
+        for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+          const std::int64_t extent = in_val(i).shape().dim(axis);
+          accumulate(n.inputs[i], narrow(dy, axis, offset, extent));
+          offset += extent;
+        }
+        break;
+      }
+      case OpKind::kMaxPool2D:
+        accumulate(n.inputs[0],
+                   max_pool_backward(in_val(0), dy,
+                                     static_cast<int>(n.attr_or("window", 2)),
+                                     static_cast<int>(n.attr_or("stride", 2))));
+        break;
+      case OpKind::kGlobalAvgPool:
+        accumulate(n.inputs[0],
+                   global_avg_pool_backward(in_val(0).shape(), dy));
+        break;
+      case OpKind::kReduceMean:
+      case OpKind::kReduceSum:
+        accumulate(n.inputs[0],
+                   reduce_mean_backward(in_val(0).shape(), dy));
+        break;
+      case OpKind::kCrossEntropy:
+        accumulate(n.inputs[0],
+                   cross_entropy_backward(in_val(0), in_val(1), dy[0]));
+        break;  // labels receive no gradient
+      default:
+        if (is_elementwise(n.kind)) {
+          accumulate(n.inputs[0], unary_backward(n.kind, in_val(0), dy));
+        } else {
+          TAP_CHECK(false) << "no backward for " << op_kind_name(n.kind)
+                           << " ('" << n.name << "')";
+        }
+    }
+  }
+  return result;
+}
+
+}  // namespace tap::runtime

@@ -1,0 +1,32 @@
+// Reverse-mode automatic differentiation over tap graphs.
+//
+// GradientExecutor runs the forward pass, then walks the DAG in reverse
+// topological order propagating gradients from the (unique) scalar
+// cross-entropy loss to every trainable weight — the explicit backward
+// phase whose gradient tensors §3.1 describes flowing along the edges.
+//
+// Used by the property tests to validate the planner's core distributed-
+// training assumption numerically: averaging per-shard gradients over a
+// batch-split (the data-parallel weight-gradient AllReduce) reproduces the
+// full-batch gradient exactly.
+#pragma once
+
+#include "runtime/executor.h"
+
+namespace tap::runtime {
+
+class GradientExecutor : public Executor {
+ public:
+  using Executor::Executor;
+
+  struct Result {
+    float loss = 0.0f;
+    /// Weight gradients keyed by the owning op's name.
+    std::unordered_map<std::string, Tensor> weight_grads;
+  };
+
+  /// Forward + backward from the graph's single CrossEntropy leaf.
+  Result gradients(const std::unordered_map<std::string, Tensor>& feeds) const;
+};
+
+}  // namespace tap::runtime

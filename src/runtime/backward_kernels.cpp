@@ -1,0 +1,351 @@
+#include "runtime/backward_kernels.h"
+
+#include <cmath>
+
+#include "runtime/kernels.h"
+#include "util/check.h"
+
+namespace tap::runtime {
+
+namespace {
+constexpr float kEps = 1e-5f;
+}
+
+MatMulGrads matmul_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy) {
+  const std::int64_t k = w.shape().dim(0);
+  const std::int64_t n = w.shape().dim(1);
+  const std::int64_t rows = x.num_elements() / k;
+  TAP_CHECK_EQ(dy.num_elements(), rows * n);
+
+  MatMulGrads g{Tensor::zeros(x.shape()), Tensor::zeros(w.shape())};
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * k;
+    const float* dyr = dy.data() + r * n;
+    float* dxr = g.dx.data() + r * k;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float* wr = w.data() + i * n;
+      float* dwr = g.dw.data() + i * n;
+      float acc = 0.0f;
+      const float xv = xr[i];
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc += dyr[j] * wr[j];        // dx = dy W^T
+        dwr[j] += xv * dyr[j];        // dw = x^T dy
+      }
+      dxr[i] = acc;
+    }
+  }
+  return g;
+}
+
+BatchMatMulGrads batch_matmul_backward(const Tensor& a, const Tensor& b,
+                                       const Tensor& dy) {
+  const std::int64_t m = a.shape().dim(-2);
+  const std::int64_t k = a.shape().dim(-1);
+  const std::int64_t n = b.shape().dim(-1);
+  const std::int64_t batches = a.num_elements() / (m * k);
+
+  BatchMatMulGrads g{Tensor::zeros(a.shape()), Tensor::zeros(b.shape())};
+  for (std::int64_t bt = 0; bt < batches; ++bt) {
+    const float* ab = a.data() + bt * m * k;
+    const float* bb = b.data() + bt * k * n;
+    const float* dyb = dy.data() + bt * m * n;
+    float* dab = g.da.data() + bt * m * k;
+    float* dbb = g.db.data() + bt * k * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = bb + kk * n;
+        const float* dyrow = dyb + i * n;
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < n; ++j) acc += dyrow[j] * brow[j];
+        dab[i * k + kk] = acc;
+        const float av = ab[i * k + kk];
+        float* dbrow = dbb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) dbrow[j] += av * dyrow[j];
+      }
+    }
+  }
+  return g;
+}
+
+MatMulGrads expert_matmul_backward(const Tensor& x, const Tensor& w,
+                                   const Tensor& dy) {
+  const std::int64_t e = w.shape().dim(0);
+  MatMulGrads g{Tensor::zeros(x.shape()), Tensor::zeros(w.shape())};
+  std::vector<Tensor> dxs, dws;
+  for (std::int64_t i = 0; i < e; ++i) {
+    Tensor xe = x.slice(0, static_cast<int>(i), static_cast<int>(e));
+    Tensor we = w.slice(0, static_cast<int>(i), static_cast<int>(e))
+                    .reshaped(TensorShape{w.shape().dim(1),
+                                          w.shape().dim(2)});
+    Tensor dye = dy.slice(0, static_cast<int>(i), static_cast<int>(e));
+    MatMulGrads ge = matmul_backward(xe, we, dye);
+    dxs.push_back(std::move(ge.dx));
+    dws.push_back(ge.dw.reshaped(
+        TensorShape{1, w.shape().dim(1), w.shape().dim(2)}));
+  }
+  g.dx = Tensor::concat(dxs, 0);
+  g.dw = Tensor::concat(dws, 0);
+  return g;
+}
+
+MatMulGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, int stride) {
+  const std::int64_t B = x.shape().dim(0), H = x.shape().dim(1),
+                     W = x.shape().dim(2), Cin = x.shape().dim(3);
+  const std::int64_t kh = w.shape().dim(0), kw = w.shape().dim(1),
+                     Cout = w.shape().dim(3);
+  const std::int64_t Ho = dy.shape().dim(1), Wo = dy.shape().dim(2);
+  const std::int64_t ph = (kh - 1) / 2, pw = (kw - 1) / 2;
+
+  MatMulGrads g{Tensor::zeros(x.shape()), Tensor::zeros(w.shape())};
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t ho = 0; ho < Ho; ++ho)
+      for (std::int64_t wo = 0; wo < Wo; ++wo) {
+        const float* dyrow = dy.data() + ((b * Ho + ho) * Wo + wo) * Cout;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          const std::int64_t hi = ho * stride + i - ph;
+          if (hi < 0 || hi >= H) continue;
+          for (std::int64_t j = 0; j < kw; ++j) {
+            const std::int64_t wi = wo * stride + j - pw;
+            if (wi < 0 || wi >= W) continue;
+            const float* xrow = x.data() + ((b * H + hi) * W + wi) * Cin;
+            float* dxrow = g.dx.data() + ((b * H + hi) * W + wi) * Cin;
+            const float* wrow = w.data() + (i * kw + j) * Cin * Cout;
+            float* dwrow = g.dw.data() + (i * kw + j) * Cin * Cout;
+            for (std::int64_t c = 0; c < Cin; ++c) {
+              const float* wc = wrow + c * Cout;
+              float* dwc = dwrow + c * Cout;
+              float acc = 0.0f;
+              for (std::int64_t o = 0; o < Cout; ++o) {
+                acc += dyrow[o] * wc[o];
+                dwc[o] += xrow[c] * dyrow[o];
+              }
+              dxrow[c] += acc;
+            }
+          }
+        }
+      }
+  return g;
+}
+
+Tensor embedding_backward(const Tensor& ids, const TensorShape& w_shape,
+                          const Tensor& dy) {
+  Tensor dw{w_shape};
+  const std::int64_t h = w_shape.dim(1);
+  for (std::int64_t i = 0; i < ids.num_elements(); ++i) {
+    const std::int64_t id = static_cast<std::int64_t>(ids[i]);
+    if (id < 0 || id >= w_shape.dim(0)) continue;
+    const float* src = dy.data() + i * h;
+    float* dst = dw.data() + id * h;
+    for (std::int64_t j = 0; j < h; ++j) dst[j] += src[j];
+  }
+  return dw;
+}
+
+MatMulGrads layer_norm_backward(const Tensor& x, const Tensor& w,
+                                const Tensor& dy) {
+  const std::int64_t d = x.shape().dim(-1);
+  const std::int64_t rows = x.num_elements() / d;
+  const float* gain = w.data();
+  MatMulGrads g{Tensor::zeros(x.shape()), Tensor::zeros(w.shape())};
+  float* dgain = g.dw.data();
+  float* dbias = g.dw.data() + d;
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    const float* dyr = dy.data() + r * d;
+    float* dxr = g.dx.data() + r * d;
+    float mean = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i)
+      var += (xr[i] - mean) * (xr[i] - mean);
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + kEps);
+
+    // dhat_i = dy_i * gain_i; dx via the standard LN backward identity.
+    float sum_dhat = 0.0f, sum_dhat_xhat = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const float xhat = (xr[i] - mean) * inv;
+      const float dhat = dyr[i] * gain[i];
+      sum_dhat += dhat;
+      sum_dhat_xhat += dhat * xhat;
+      dgain[i] += dyr[i] * xhat;
+      dbias[i] += dyr[i];
+    }
+    for (std::int64_t i = 0; i < d; ++i) {
+      const float xhat = (xr[i] - mean) * inv;
+      const float dhat = dyr[i] * gain[i];
+      dxr[i] = inv * (dhat - sum_dhat / static_cast<float>(d) -
+                      xhat * sum_dhat_xhat / static_cast<float>(d));
+    }
+  }
+  return g;
+}
+
+Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
+  const std::int64_t d = y.shape().dim(-1);
+  const std::int64_t rows = y.num_elements() / d;
+  Tensor dx(y.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = y.data() + r * d;
+    const float* dyr = dy.data() + r * d;
+    float* dxr = dx.data() + r * d;
+    float dot = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) dot += yr[i] * dyr[i];
+    for (std::int64_t i = 0; i < d; ++i) dxr[i] = yr[i] * (dyr[i] - dot);
+  }
+  return dx;
+}
+
+Tensor unary_backward(OpKind kind, const Tensor& x, const Tensor& dy) {
+  Tensor dx(x.shape());
+  for (std::int64_t i = 0; i < x.num_elements(); ++i) {
+    const float v = x[i];
+    float d = 1.0f;
+    switch (kind) {
+      case OpKind::kRelu:
+        d = v > 0 ? 1.0f : 0.0f;
+        break;
+      case OpKind::kGelu: {
+        // d/dv of 0.5 v (1 + tanh(c (v + a v^3))).
+        const float c = 0.7978845608f, a = 0.044715f;
+        const float u = c * (v + a * v * v * v);
+        const float t = std::tanh(u);
+        const float du = c * (1.0f + 3.0f * a * v * v);
+        d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+        break;
+      }
+      case OpKind::kTanh: {
+        const float t = std::tanh(v);
+        d = 1.0f - t * t;
+        break;
+      }
+      case OpKind::kSigmoid: {
+        const float s = 1.0f / (1.0f + std::exp(-v));
+        d = s * (1.0f - s);
+        break;
+      }
+      case OpKind::kErf:
+        d = 1.1283791671f * std::exp(-v * v);  // 2/sqrt(pi)
+        break;
+      case OpKind::kScale:
+        d = 0.125f;
+        break;
+      case OpKind::kDropout:
+      case OpKind::kIdentity:
+      case OpKind::kCast:
+        d = 1.0f;
+        break;
+      default:
+        TAP_CHECK(false) << "no unary backward for " << op_kind_name(kind);
+    }
+    dx[i] = dy[i] * d;
+  }
+  return dx;
+}
+
+MatMulGrads bias_add_backward(const Tensor& x, const Tensor& dy) {
+  const std::int64_t d = x.shape().dim(-1);
+  const std::int64_t rows = x.num_elements() / d;
+  MatMulGrads g{dy, Tensor::zeros(TensorShape{d})};
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t i = 0; i < d; ++i) g.dw[i] += dy[r * d + i];
+  return g;
+}
+
+Tensor transpose_backward(const Tensor& dy, const std::vector<int>& perm) {
+  std::vector<int> inverse(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    inverse[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+  return transpose(dy, inverse);
+}
+
+Tensor max_pool_backward(const Tensor& x, const Tensor& dy, int window,
+                         int stride) {
+  const std::int64_t B = x.shape().dim(0), H = x.shape().dim(1),
+                     W = x.shape().dim(2), C = x.shape().dim(3);
+  const std::int64_t Ho = dy.shape().dim(1), Wo = dy.shape().dim(2);
+  const std::int64_t p = (window - 1) / 2;
+  Tensor dx(x.shape());
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t ho = 0; ho < Ho; ++ho)
+      for (std::int64_t wo = 0; wo < Wo; ++wo)
+        for (std::int64_t c = 0; c < C; ++c) {
+          float best = -1e30f;
+          std::int64_t bh = -1, bw = -1;
+          for (int i = 0; i < window; ++i)
+            for (int j = 0; j < window; ++j) {
+              std::int64_t hi = ho * stride + i - p;
+              std::int64_t wi = wo * stride + j - p;
+              if (hi < 0 || hi >= H || wi < 0 || wi >= W) continue;
+              float v = x[((b * H + hi) * W + wi) * C + c];
+              if (v > best) {
+                best = v;
+                bh = hi;
+                bw = wi;
+              }
+            }
+          if (bh >= 0)
+            dx[((b * H + bh) * W + bw) * C + c] +=
+                dy[((b * Ho + ho) * Wo + wo) * C + c];
+        }
+  return dx;
+}
+
+Tensor global_avg_pool_backward(const TensorShape& x_shape,
+                                const Tensor& dy) {
+  const std::int64_t B = x_shape.dim(0), H = x_shape.dim(1),
+                     W = x_shape.dim(2), C = x_shape.dim(3);
+  Tensor dx{x_shape};
+  const float scale = 1.0f / static_cast<float>(H * W);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t w = 0; w < W; ++w)
+        for (std::int64_t c = 0; c < C; ++c)
+          dx[((b * H + h) * W + w) * C + c] = dy[b * C + c] * scale;
+  return dx;
+}
+
+Tensor reduce_mean_backward(const TensorShape& x_shape, const Tensor& dy) {
+  Tensor dx{x_shape};
+  if (dy.rank() == 0) {
+    const float scale =
+        1.0f / static_cast<float>(x_shape.num_elements());
+    for (std::int64_t i = 0; i < dx.num_elements(); ++i)
+      dx[i] = dy[0] * scale;
+    return dx;
+  }
+  const std::int64_t B = x_shape.dim(0), S = x_shape.dim(1),
+                     D = x_shape.dim(2);
+  const float scale = 1.0f / static_cast<float>(S);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t s = 0; s < S; ++s)
+      for (std::int64_t d = 0; d < D; ++d)
+        dx[(b * S + s) * D + d] = dy[b * D + d] * scale;
+  return dx;
+}
+
+Tensor cross_entropy_backward(const Tensor& logits, const Tensor& labels,
+                              float dl) {
+  // L = -(1/rows) Σ_i labels_i log(p_i),  p = softmax(logits).
+  // dL/dlogit_j = (1/rows) (p_j Σ_i labels_i − labels_j).
+  Tensor p = softmax(logits);
+  const std::int64_t d = logits.shape().dim(-1);
+  const std::int64_t rows = logits.num_elements() / d;
+  Tensor dx(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* lr = labels.data() + r * d;
+    const float* pr = p.data() + r * d;
+    float* dxr = dx.data() + r * d;
+    float lsum = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) lsum += lr[i];
+    for (std::int64_t i = 0; i < d; ++i)
+      dxr[i] = dl * (pr[i] * lsum - lr[i]) / static_cast<float>(rows);
+  }
+  return dx;
+}
+
+}  // namespace tap::runtime

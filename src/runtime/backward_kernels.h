@@ -1,0 +1,73 @@
+// Reverse-mode gradient kernels for the numeric runtime. Each function
+// takes the forward inputs/outputs plus the upstream gradient and returns
+// the gradients the op propagates. Naive loops, verified against finite
+// differences in tests/test_autodiff.cpp.
+#pragma once
+
+#include <vector>
+
+#include "graph/op_kind.h"
+#include "runtime/tensor.h"
+
+namespace tap::runtime {
+
+/// y = x @ w (w [K,N]): returns {dx, dw}.
+struct MatMulGrads {
+  Tensor dx;
+  Tensor dw;
+};
+MatMulGrads matmul_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy);
+
+/// y = a @ b batched on leading dims: returns {da, db}.
+struct BatchMatMulGrads {
+  Tensor da;
+  Tensor db;
+};
+BatchMatMulGrads batch_matmul_backward(const Tensor& a, const Tensor& b,
+                                       const Tensor& dy);
+
+/// Per-expert dense: x [E,C,K], w [E,K,N].
+MatMulGrads expert_matmul_backward(const Tensor& x, const Tensor& w,
+                                   const Tensor& dy);
+
+/// NHWC convolution, SAME padding.
+MatMulGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, int stride);
+
+/// Embedding lookup: dw via scatter-add (ids get no gradient).
+Tensor embedding_backward(const Tensor& ids, const TensorShape& w_shape,
+                          const Tensor& dy);
+
+/// LayerNorm with gain/bias packed as w [2, d]: returns {dx, dw}.
+MatMulGrads layer_norm_backward(const Tensor& x, const Tensor& w,
+                                const Tensor& dy);
+
+/// Softmax over the last axis; y is the forward output.
+Tensor softmax_backward(const Tensor& y, const Tensor& dy);
+
+/// Unary elementwise backward (relu/gelu/tanh/sigmoid/scale/dropout/...).
+Tensor unary_backward(OpKind kind, const Tensor& x, const Tensor& dy);
+
+/// BiasAdd with weight b [d]: returns {dx == dy, db}.
+MatMulGrads bias_add_backward(const Tensor& x, const Tensor& dy);
+
+/// Transpose backward = transpose by the inverse permutation.
+Tensor transpose_backward(const Tensor& dy, const std::vector<int>& perm);
+
+/// MaxPool backward: gradient routed to each window's argmax.
+Tensor max_pool_backward(const Tensor& x, const Tensor& dy, int window,
+                         int stride);
+
+/// GlobalAvgPool backward: gradient spread uniformly over H x W.
+Tensor global_avg_pool_backward(const TensorShape& x_shape, const Tensor& dy);
+
+/// Mean over axis 1 of [B,S,D] (or over everything): gradient spread.
+Tensor reduce_mean_backward(const TensorShape& x_shape, const Tensor& dy);
+
+/// Our cross-entropy: L = -(1/rows) Σ labels · log(softmax(logits)).
+/// Returns dLogits for upstream scalar gradient `dl`.
+Tensor cross_entropy_backward(const Tensor& logits, const Tensor& labels,
+                              float dl);
+
+}  // namespace tap::runtime

@@ -1,0 +1,353 @@
+#include "runtime/kernels.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tap::runtime {
+
+namespace {
+constexpr float kEps = 1e-5f;
+}
+
+Tensor matmul(const Tensor& x, const Tensor& w) {
+  TAP_CHECK_EQ(w.rank(), 2);
+  const std::int64_t k = w.shape().dim(0);
+  const std::int64_t n = w.shape().dim(1);
+  TAP_CHECK_EQ(x.shape().dim(-1), k);
+  const std::int64_t rows = x.num_elements() / k;
+
+  TensorShape out_shape = x.shape();
+  out_shape.set_dim(-1, n);
+  Tensor out(out_shape);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * k;
+    float* yr = out.data() + r * n;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float xv = xr[i];
+      if (xv == 0.0f) continue;
+      const float* wr = w.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) yr[j] += xv * wr[j];
+    }
+  }
+  return out;
+}
+
+Tensor expert_matmul(const Tensor& x, const Tensor& w) {
+  TAP_CHECK_EQ(w.rank(), 3);
+  TAP_CHECK_EQ(x.rank(), 3);
+  const std::int64_t e = w.shape().dim(0);
+  TAP_CHECK_EQ(x.shape().dim(0), e);
+  std::vector<Tensor> per_expert;
+  per_expert.reserve(static_cast<std::size_t>(e));
+  for (std::int64_t i = 0; i < e; ++i) {
+    Tensor xe = x.slice(0, static_cast<int>(i), static_cast<int>(e));
+    Tensor we = w.slice(0, static_cast<int>(i), static_cast<int>(e));
+    per_expert.push_back(
+        matmul(xe, we.reshaped(TensorShape{w.shape().dim(1),
+                                           w.shape().dim(2)})));
+  }
+  return Tensor::concat(per_expert, 0);
+}
+
+Tensor matmul2(const Tensor& a, const Tensor& b) {
+  TAP_CHECK_EQ(a.rank(), 2);
+  TAP_CHECK_EQ(b.rank(), 2);
+  return matmul(a, b);
+}
+
+Tensor batch_matmul(const Tensor& a, const Tensor& b) {
+  TAP_CHECK_EQ(a.rank(), b.rank());
+  TAP_CHECK_GE(a.rank(), 3);
+  const std::int64_t m = a.shape().dim(-2);
+  const std::int64_t k = a.shape().dim(-1);
+  TAP_CHECK_EQ(b.shape().dim(-2), k);
+  const std::int64_t n = b.shape().dim(-1);
+  const std::int64_t batches = a.num_elements() / (m * k);
+  TAP_CHECK_EQ(b.num_elements() / (k * n), batches);
+
+  TensorShape out_shape = a.shape();
+  out_shape.set_dim(-1, n);
+  Tensor out(out_shape);
+  for (std::int64_t bt = 0; bt < batches; ++bt) {
+    const float* ab = a.data() + bt * m * k;
+    const float* bb = b.data() + bt * k * n;
+    float* ob = out.data() + bt * m * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = ab[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* br = bb + kk * n;
+        float* orow = ob + i * n;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * br[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& w, int stride) {
+  TAP_CHECK_EQ(x.rank(), 4);
+  TAP_CHECK_EQ(w.rank(), 4);
+  const std::int64_t B = x.shape().dim(0), H = x.shape().dim(1),
+                     W = x.shape().dim(2), Cin = x.shape().dim(3);
+  const std::int64_t kh = w.shape().dim(0), kw = w.shape().dim(1),
+                     Cout = w.shape().dim(3);
+  TAP_CHECK_EQ(w.shape().dim(2), Cin);
+  const std::int64_t Ho = (H + stride - 1) / stride;
+  const std::int64_t Wo = (W + stride - 1) / stride;
+  // SAME padding offsets.
+  const std::int64_t ph = (kh - 1) / 2, pw = (kw - 1) / 2;
+
+  Tensor out(TensorShape{B, Ho, Wo, Cout});
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t ho = 0; ho < Ho; ++ho) {
+      for (std::int64_t wo = 0; wo < Wo; ++wo) {
+        float* orow = out.data() + ((b * Ho + ho) * Wo + wo) * Cout;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          const std::int64_t hi = ho * stride + i - ph;
+          if (hi < 0 || hi >= H) continue;
+          for (std::int64_t j = 0; j < kw; ++j) {
+            const std::int64_t wi = wo * stride + j - pw;
+            if (wi < 0 || wi >= W) continue;
+            const float* xrow = x.data() + ((b * H + hi) * W + wi) * Cin;
+            const float* wrow = w.data() + (i * kw + j) * Cin * Cout;
+            for (std::int64_t c = 0; c < Cin; ++c) {
+              const float xv = xrow[c];
+              if (xv == 0.0f) continue;
+              const float* wc = wrow + c * Cout;
+              for (std::int64_t o = 0; o < Cout; ++o) orow[o] += xv * wc[o];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor embedding(const Tensor& ids, const Tensor& w, std::int64_t row_offset) {
+  TAP_CHECK_EQ(w.rank(), 2);
+  const std::int64_t rows = w.shape().dim(0);
+  const std::int64_t h = w.shape().dim(1);
+  std::vector<std::int64_t> dims = ids.shape().dims();
+  dims.push_back(h);
+  Tensor out{TensorShape(dims)};
+  for (std::int64_t i = 0; i < ids.num_elements(); ++i) {
+    const std::int64_t id = static_cast<std::int64_t>(ids[i]) - row_offset;
+    if (id < 0 || id >= rows) continue;  // other shards own this row
+    const float* src = w.data() + id * h;
+    std::copy(src, src + h, out.data() + i * h);
+  }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& w) {
+  TAP_CHECK_EQ(w.rank(), 2);
+  TAP_CHECK_EQ(w.shape().dim(0), 2);
+  const std::int64_t d = x.shape().dim(-1);
+  TAP_CHECK_EQ(w.shape().dim(1), d);
+  const std::int64_t rows = x.num_elements() / d;
+  Tensor out(x.shape());
+  const float* gain = w.data();
+  const float* bias = w.data() + d;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    float* yr = out.data() + r * d;
+    float mean = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i)
+      var += (xr[i] - mean) * (xr[i] - mean);
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + kEps);
+    for (std::int64_t i = 0; i < d; ++i)
+      yr[i] = gain[i] * (xr[i] - mean) * inv + bias[i];
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& x) {
+  const std::int64_t d = x.shape().dim(-1);
+  const std::int64_t rows = x.num_elements() / d;
+  Tensor out(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * d;
+    float* yr = out.data() + r * d;
+    float mx = xr[0];
+    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, xr[i]);
+    float sum = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      yr[i] = std::exp(xr[i] - mx);
+      sum += yr[i];
+    }
+    for (std::int64_t i = 0; i < d; ++i) yr[i] /= sum;
+  }
+  return out;
+}
+
+Tensor unary_elementwise(OpKind kind, const Tensor& x) {
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.num_elements(); ++i) {
+    const float v = x[i];
+    float y = v;
+    switch (kind) {
+      case OpKind::kRelu: y = v > 0 ? v : 0; break;
+      case OpKind::kGelu:
+        y = 0.5f * v * (1.0f + std::tanh(0.7978845608f *
+                                         (v + 0.044715f * v * v * v)));
+        break;
+      case OpKind::kTanh: y = std::tanh(v); break;
+      case OpKind::kSigmoid: y = 1.0f / (1.0f + std::exp(-v)); break;
+      case OpKind::kErf: y = std::erf(v); break;
+      case OpKind::kRsqrt: y = 1.0f / std::sqrt(std::fabs(v) + kEps); break;
+      case OpKind::kScale: y = 0.125f * v; break;  // fixed 1/sqrt(64)
+      case OpKind::kDropout:                       // eval mode: identity
+      case OpKind::kIdentity:
+      case OpKind::kCast:
+        y = v;
+        break;
+      default:
+        TAP_CHECK(false) << "unsupported unary op "
+                         << op_kind_name(kind);
+    }
+    out[i] = y;
+  }
+  return out;
+}
+
+Tensor binary_elementwise(OpKind kind, const Tensor& a, const Tensor& b) {
+  TAP_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.num_elements(); ++i) {
+    switch (kind) {
+      case OpKind::kAdd: out[i] = a[i] + b[i]; break;
+      case OpKind::kSub: out[i] = a[i] - b[i]; break;
+      case OpKind::kMul: out[i] = a[i] * b[i]; break;
+      case OpKind::kDiv: out[i] = a[i] / (b[i] + kEps); break;
+      default:
+        TAP_CHECK(false) << "unsupported binary op "
+                         << op_kind_name(kind);
+    }
+  }
+  return out;
+}
+
+Tensor bias_add(const Tensor& x, const Tensor& b) {
+  const std::int64_t d = x.shape().dim(-1);
+  TAP_CHECK_EQ(b.num_elements(), d);
+  Tensor out = x;
+  const std::int64_t rows = x.num_elements() / d;
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t i = 0; i < d; ++i) out[r * d + i] += b[i];
+  return out;
+}
+
+Tensor transpose(const Tensor& x, const std::vector<int>& perm) {
+  const int r = x.rank();
+  TAP_CHECK_EQ(static_cast<int>(perm.size()), r);
+  std::vector<std::int64_t> out_dims(static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i)
+    out_dims[static_cast<std::size_t>(i)] = x.shape().dim(perm[static_cast<std::size_t>(i)]);
+  Tensor out{TensorShape(out_dims)};
+
+  std::vector<std::int64_t> in_stride(static_cast<std::size_t>(r), 1);
+  for (int i = r - 2; i >= 0; --i)
+    in_stride[static_cast<std::size_t>(i)] =
+        in_stride[static_cast<std::size_t>(i + 1)] * x.shape().dim(i + 1);
+
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(r), 0);
+  for (std::int64_t flat = 0; flat < out.num_elements(); ++flat) {
+    std::int64_t src = 0;
+    for (int i = 0; i < r; ++i)
+      src += idx[static_cast<std::size_t>(i)] *
+             in_stride[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+    out[flat] = x[src];
+    for (int i = r - 1; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] < out.shape().dim(i)) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor max_pool(const Tensor& x, int window, int stride) {
+  TAP_CHECK_EQ(x.rank(), 4);
+  const std::int64_t B = x.shape().dim(0), H = x.shape().dim(1),
+                     W = x.shape().dim(2), C = x.shape().dim(3);
+  const std::int64_t Ho = (H + stride - 1) / stride;
+  const std::int64_t Wo = (W + stride - 1) / stride;
+  const std::int64_t p = (window - 1) / 2;
+  Tensor out(TensorShape{B, Ho, Wo, C});
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t ho = 0; ho < Ho; ++ho)
+      for (std::int64_t wo = 0; wo < Wo; ++wo)
+        for (std::int64_t c = 0; c < C; ++c) {
+          float best = -1e30f;
+          for (int i = 0; i < window; ++i)
+            for (int j = 0; j < window; ++j) {
+              std::int64_t hi = ho * stride + i - p;
+              std::int64_t wi = wo * stride + j - p;
+              if (hi < 0 || hi >= H || wi < 0 || wi >= W) continue;
+              best = std::max(best, x[((b * H + hi) * W + wi) * C + c]);
+            }
+          out[((b * Ho + ho) * Wo + wo) * C + c] = best;
+        }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  TAP_CHECK_EQ(x.rank(), 4);
+  const std::int64_t B = x.shape().dim(0), H = x.shape().dim(1),
+                     W = x.shape().dim(2), C = x.shape().dim(3);
+  Tensor out(TensorShape{B, C});
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t w = 0; w < W; ++w)
+        for (std::int64_t c = 0; c < C; ++c)
+          out[b * C + c] += x[((b * H + h) * W + w) * C + c];
+    for (std::int64_t c = 0; c < C; ++c)
+      out[b * C + c] /= static_cast<float>(H * W);
+  }
+  return out;
+}
+
+Tensor reduce_mean(const Tensor& x, const TensorShape& out_shape) {
+  if (out_shape.rank() == 0) {
+    Tensor out(TensorShape::scalar());
+    float sum = 0.0f;
+    for (std::int64_t i = 0; i < x.num_elements(); ++i) sum += x[i];
+    out[0] = sum / static_cast<float>(x.num_elements());
+    return out;
+  }
+  // [B, S, D] -> [B, D]: mean over axis 1.
+  TAP_CHECK_EQ(x.rank(), 3);
+  TAP_CHECK_EQ(out_shape.rank(), 2);
+  const std::int64_t B = x.shape().dim(0), S = x.shape().dim(1),
+                     D = x.shape().dim(2);
+  Tensor out(out_shape);
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t s = 0; s < S; ++s)
+      for (std::int64_t d = 0; d < D; ++d)
+        out[b * D + d] += x[(b * S + s) * D + d];
+    for (std::int64_t d = 0; d < D; ++d)
+      out[b * D + d] /= static_cast<float>(S);
+  }
+  return out;
+}
+
+Tensor cross_entropy(const Tensor& logits, const Tensor& labels) {
+  TAP_CHECK(logits.shape() == labels.shape());
+  Tensor probs = softmax(logits);
+  const std::int64_t d = logits.shape().dim(-1);
+  const std::int64_t rows = logits.num_elements() / d;
+  float loss = 0.0f;
+  for (std::int64_t i = 0; i < logits.num_elements(); ++i)
+    loss -= labels[i] * std::log(probs[i] + 1e-9f);
+  Tensor out(TensorShape::scalar());
+  out[0] = loss / static_cast<float>(rows);
+  return out;
+}
+
+}  // namespace tap::runtime

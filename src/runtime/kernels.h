@@ -1,0 +1,41 @@
+// Reference CPU kernels for every compute op the model zoo emits. Naive
+// loops — correctness over speed; the equivalence tests run tiny shapes.
+#pragma once
+
+#include "graph/node.h"
+#include "runtime/tensor.h"
+
+namespace tap::runtime {
+
+/// Dense layer: x [..., K] times w [K, N] -> [..., N].
+Tensor matmul(const Tensor& x, const Tensor& w);
+/// Per-expert dense: x [E, C, K] times w [E, K, N] -> [E, C, N].
+Tensor expert_matmul(const Tensor& x, const Tensor& w);
+/// Plain 2D product a [M, K] x b [K, N].
+Tensor matmul2(const Tensor& a, const Tensor& b);
+/// Batched: a [..., M, K] x b [..., K, N] with equal leading dims.
+Tensor batch_matmul(const Tensor& a, const Tensor& b);
+/// NHWC convolution, SAME padding; w [kh, kw, cin, cout].
+Tensor conv2d(const Tensor& x, const Tensor& w, int stride);
+/// Lookup rows of w [V, H] by integer-valued ids, with the rows
+/// [row_offset, row_offset + V) of the full table; out-of-range ids yield
+/// zeros (the split_vocab partial-lookup semantics).
+Tensor embedding(const Tensor& ids, const Tensor& w,
+                 std::int64_t row_offset = 0);
+/// Normalize over the last axis with gain/bias packed as w [2, d]. Used
+/// for both LayerNorm and (by definition in this runtime) BatchNorm, which
+/// keeps normalization sample-local and therefore batch-split-equivariant.
+Tensor layer_norm(const Tensor& x, const Tensor& w);
+Tensor softmax(const Tensor& x);  ///< over the last axis
+Tensor unary_elementwise(OpKind kind, const Tensor& x);
+Tensor binary_elementwise(OpKind kind, const Tensor& a, const Tensor& b);
+Tensor bias_add(const Tensor& x, const Tensor& b);
+Tensor transpose(const Tensor& x, const std::vector<int>& perm);
+Tensor max_pool(const Tensor& x, int window, int stride);  ///< NHWC, SAME
+Tensor global_avg_pool(const Tensor& x);                   ///< NHWC -> [B, C]
+/// Mean over axis 1 of [B, S, D] -> [B, D], or over everything -> scalar.
+Tensor reduce_mean(const Tensor& x, const TensorShape& out_shape);
+/// Mean softmax cross-entropy of logits against (soft) labels -> scalar.
+Tensor cross_entropy(const Tensor& logits, const Tensor& labels);
+
+}  // namespace tap::runtime

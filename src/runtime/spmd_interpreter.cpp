@@ -1,0 +1,381 @@
+#include "runtime/spmd_interpreter.h"
+
+#include <algorithm>
+
+#include "runtime/kernels.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace tap::runtime {
+
+namespace {
+
+/// True when `local` is `logical` sliced D-ways along some axis; returns
+/// that axis in *axis (-1 when the shapes are identical).
+bool find_sliced_axis(const TensorShape& local, const TensorShape& logical,
+                      int parts, int* axis) {
+  *axis = -1;
+  if (local == logical) return true;
+  if (local.rank() != logical.rank()) return false;
+  for (int i = 0; i < local.rank(); ++i) {
+    if (local.dim(i) == logical.dim(i)) continue;
+    if (*axis != -1) return false;  // more than one differing axis
+    if (local.dim(i) * parts != logical.dim(i)) return false;
+    *axis = i;
+  }
+  return true;
+}
+
+/// Local reshape target: when the input is sliced along one axis, map that
+/// axis into the logical output shape via matching outer products (row-
+/// major contiguity) and divide the corresponding output axis.
+TensorShape local_reshape_target(const TensorShape& local_in,
+                                 const TensorShape& logical_in,
+                                 const TensorShape& logical_out, int parts) {
+  if (local_in.num_elements() == logical_out.num_elements())
+    return logical_out;
+  int in_axis = -1;
+  TAP_CHECK(find_sliced_axis(local_in, logical_in, parts, &in_axis) &&
+            in_axis >= 0)
+      << "unsupported local layout for reshape: "
+      << local_in.to_string() << " vs " << logical_in.to_string();
+  std::int64_t outer = 1;
+  for (int i = 0; i < in_axis; ++i) outer *= logical_in.dim(i);
+  std::int64_t acc = 1;
+  for (int b = 0; b < logical_out.rank(); ++b) {
+    if (acc == outer && logical_out.dim(b) % parts == 0) {
+      TensorShape out = logical_out;
+      out.set_dim(b, logical_out.dim(b) / parts);
+      TAP_CHECK_EQ(out.num_elements(), local_in.num_elements())
+          << "reshape split-axis mapping failed";
+      return out;
+    }
+    acc *= logical_out.dim(b);
+  }
+  TAP_CHECK(false) << "cannot map split axis " << in_axis << " of "
+                   << logical_in.to_string() << " into "
+                   << logical_out.to_string();
+  return logical_out;
+}
+
+}  // namespace
+
+SpmdInterpreter::SpmdInterpreter(const Graph& parallel, int num_shards,
+                                 std::uint64_t seed)
+    : g_(parallel), num_shards_(num_shards), seed_(seed) {
+  TAP_CHECK_GE(num_shards, 1);
+}
+
+std::vector<std::unordered_map<std::string, Tensor>> SpmdInterpreter::run(
+    const std::unordered_map<std::string, Tensor>& feeds) const {
+  const int D = num_shards_;
+  std::vector<std::vector<Tensor>> value(g_.num_nodes());
+  std::vector<bool> have(g_.num_nodes(), false);
+
+  auto weight_for = [&](const Node& n) {
+    util::Rng rng(util::hash_str(n.name) ^ seed_);
+    Tensor w = Tensor::random(n.weight->shape, rng);
+    int axis = static_cast<int>(n.attr_or("weight_shard_axis", -1));
+    return std::pair<Tensor, int>(std::move(w), axis);
+  };
+
+  /// Slices `full` for device d when `other` is D-ways smaller along one
+  /// axis (the router's free replicate->split conversion).
+  auto harmonize = [&](Tensor full, const TensorShape& want,
+                       int d) -> Tensor {
+    int axis = -1;
+    if (full.shape() == want) return full;
+    TAP_CHECK(find_sliced_axis(want, full.shape(), D, &axis) && axis >= 0)
+        << "cannot harmonize " << full.shape().to_string() << " with "
+        << want.to_string();
+    return full.slice(axis, d, D);
+  };
+
+  for (NodeId id : g_.topo_order()) {
+    const Node& n = g_.node(id);
+    if (is_aux(n.kind)) continue;
+    if (n.name.find("/grad/") != std::string::npos) continue;  // stand-ins
+
+    std::vector<Tensor> locals(static_cast<std::size_t>(D));
+    auto in_local = [&](std::size_t i, int d) -> const Tensor& {
+      NodeId pid = n.inputs[i];
+      TAP_CHECK(have[static_cast<std::size_t>(pid)])
+          << "input '" << g_.node(pid).name << "' not computed";
+      return value[static_cast<std::size_t>(pid)][static_cast<std::size_t>(d)];
+    };
+
+    if (is_comm(n.kind)) {
+      // Collectives see every device's local value (lockstep execution).
+      switch (n.kind) {
+        case OpKind::kAllReduce: {
+          std::vector<Tensor> parts;
+          for (int d = 0; d < D; ++d) parts.push_back(in_local(0, d));
+          Tensor sum = Tensor::sum(parts);
+          for (int d = 0; d < D; ++d)
+            locals[static_cast<std::size_t>(d)] = sum;
+          break;
+        }
+        case OpKind::kAllGather: {
+          // Gather along the producer's split axis.
+          int axis = -1;
+          const Node& producer = g_.node(n.inputs[0]);
+          TAP_CHECK(find_sliced_axis(in_local(0, 0).shape(),
+                                     producer.output.shape, D, &axis))
+              << "allgather: unexpected local layout";
+          Tensor full = in_local(0, 0);
+          if (axis >= 0) {
+            std::vector<Tensor> parts;
+            for (int d = 0; d < D; ++d) parts.push_back(in_local(0, d));
+            full = Tensor::concat(parts, axis);
+          }
+          for (int d = 0; d < D; ++d)
+            locals[static_cast<std::size_t>(d)] = full;
+          break;
+        }
+        case OpKind::kAllToAll:
+        case OpKind::kReduceScatter: {
+          const int from =
+              static_cast<int>(n.attr_or("from_axis", -1));
+          const int to = static_cast<int>(n.attr_or("to_axis", -1));
+          Tensor full = in_local(0, 0);
+          if (from >= 0) {
+            std::vector<Tensor> parts;
+            for (int d = 0; d < D; ++d) parts.push_back(in_local(0, d));
+            full = Tensor::concat(parts, from);
+          }
+          for (int d = 0; d < D; ++d) {
+            locals[static_cast<std::size_t>(d)] =
+                to >= 0 ? full.slice(to, d, D) : full;
+          }
+          break;
+        }
+        default:
+          TAP_CHECK(false) << "unsupported collective "
+                           << op_kind_name(n.kind);
+      }
+    } else {
+      for (int d = 0; d < D; ++d) {
+        Tensor out;
+        switch (n.kind) {
+          case OpKind::kPlaceholder: {
+            auto it = feeds.find(n.name);
+            TAP_CHECK(it != feeds.end()) << "missing feed '" << n.name
+                                         << "'";
+            out = it->second;
+            break;
+          }
+          case OpKind::kConst: {
+            util::Rng rng(util::hash_str(n.name) ^ seed_);
+            out = Tensor::random(n.output.shape, rng);
+            break;
+          }
+          case OpKind::kMatMul: {
+            if (n.has_weight()) {
+              auto [w, waxis] = weight_for(n);
+              Tensor wl = waxis >= 0 ? w.slice(waxis, d, D) : w;
+              Tensor x = in_local(0, d);
+              if (wl.rank() == 2 &&
+                  x.shape().dim(-1) == wl.shape().dim(0) * D) {
+                // Row-split weights contract over a sliced axis: a still-
+                // replicated input free-slices down to its column block.
+                x = x.slice(-1, d, D);
+              } else if (wl.rank() == 2 &&
+                         x.shape().dim(-1) * D == wl.shape().dim(0)) {
+                // The producer inside this very cluster emitted a sliced
+                // hidden (e.g. hidden-split embedding feeding a dense in
+                // the same name scope): implicit gather across the
+                // lockstep devices restores the contraction dimension.
+                std::vector<Tensor> parts;
+                for (int dd = 0; dd < D; ++dd)
+                  parts.push_back(in_local(0, dd));
+                x = Tensor::concat(parts, -1);
+              }
+              out = wl.rank() == 3 ? expert_matmul(x, wl) : matmul(x, wl);
+            } else {
+              out = matmul2(in_local(0, d), in_local(1, d));
+            }
+            break;
+          }
+          case OpKind::kConv2D: {
+            auto [w, waxis] = weight_for(n);
+            Tensor wl = waxis >= 0 ? w.slice(waxis, d, D) : w;
+            Tensor x = in_local(0, d);
+            if (x.shape().dim(-1) != wl.shape().dim(2))
+              x = x.slice(-1, d, D);  // channel-split contraction
+            out = conv2d(x, wl, static_cast<int>(n.attr_or("stride", 1)));
+            break;
+          }
+          case OpKind::kEmbedding: {
+            auto [w, waxis] = weight_for(n);
+            if (waxis == 0) {
+              const std::int64_t rows = w.shape().dim(0) / D;
+              out = embedding(in_local(0, d), w.slice(0, d, D), d * rows);
+            } else if (waxis == 1) {
+              out = embedding(in_local(0, d), w.slice(1, d, D));
+            } else {
+              out = embedding(in_local(0, d), w);
+            }
+            break;
+          }
+          case OpKind::kLayerNorm:
+          case OpKind::kBatchNorm:
+            out = layer_norm(in_local(0, d), weight_for(n).first);
+            break;
+          case OpKind::kBiasAdd:
+            out = n.has_weight()
+                      ? bias_add(in_local(0, d), weight_for(n).first)
+                      : bias_add(in_local(0, d), in_local(1, d));
+            break;
+          case OpKind::kMoeRouter:
+            out = softmax(matmul(in_local(0, d), weight_for(n).first));
+            break;
+          case OpKind::kBatchMatMul: {
+            Tensor a = in_local(0, d);
+            Tensor b = in_local(1, d);
+            // Free replicate->split slice when one operand's leading dims
+            // are still full (mixed Q/K/V layouts inside attention glue).
+            const std::int64_t abatch =
+                a.num_elements() / (a.shape().dim(-2) * a.shape().dim(-1));
+            const std::int64_t bbatch =
+                b.num_elements() / (b.shape().dim(-2) * b.shape().dim(-1));
+            if (abatch > bbatch) {
+              a = harmonize(std::move(a),
+                            a.shape().sharded(0, static_cast<int>(
+                                                     abatch / bbatch)),
+                            d);
+            } else if (bbatch > abatch) {
+              b = harmonize(std::move(b),
+                            b.shape().sharded(0, static_cast<int>(
+                                                     bbatch / abatch)),
+                            d);
+            }
+            out = batch_matmul(a, b);
+            break;
+          }
+          case OpKind::kSoftmax:
+            out = softmax(in_local(0, d));
+            break;
+          case OpKind::kAdd:
+          case OpKind::kSub:
+          case OpKind::kMul:
+          case OpKind::kDiv: {
+            Tensor a = in_local(0, d);
+            Tensor b = in_local(1, d);
+            if (a.shape() != b.shape()) {
+              // Free replicate->split slice on whichever side is full.
+              if (a.num_elements() > b.num_elements()) {
+                a = harmonize(std::move(a), b.shape(), d);
+              } else {
+                b = harmonize(std::move(b), a.shape(), d);
+              }
+            }
+            out = binary_elementwise(n.kind, a, b);
+            break;
+          }
+          case OpKind::kReshape:
+            out = in_local(0, d).reshaped(local_reshape_target(
+                in_local(0, d).shape(), g_.node(n.inputs[0]).output.shape,
+                n.output.shape, D));
+            break;
+          case OpKind::kTranspose: {
+            std::vector<int> perm;
+            for (int i = 0;; ++i) {
+              auto a = n.attrs.find("perm" + std::to_string(i));
+              if (a == n.attrs.end()) break;
+              perm.push_back(static_cast<int>(a->second));
+            }
+            out = transpose(in_local(0, d), perm);
+            break;
+          }
+          case OpKind::kMaxPool2D:
+            out = max_pool(in_local(0, d),
+                           static_cast<int>(n.attr_or("window", 2)),
+                           static_cast<int>(n.attr_or("stride", 2)));
+            break;
+          case OpKind::kGlobalAvgPool:
+            out = global_avg_pool(in_local(0, d));
+            break;
+          case OpKind::kReduceMean:
+          case OpKind::kReduceSum: {
+            TensorShape target = n.output.shape;
+            // A batch-sliced input reduces to a batch-sliced output.
+            if (target.rank() > 0 &&
+                in_local(0, d).shape().dim(0) != target.dim(0) &&
+                target.divisible(0, D)) {
+              target = target.sharded(0, D);
+            }
+            out = reduce_mean(in_local(0, d), target);
+            break;
+          }
+          case OpKind::kCrossEntropy: {
+            Tensor logits = in_local(0, d);
+            Tensor labels = in_local(1, d);
+            if (labels.shape() != logits.shape())
+              labels = harmonize(std::move(labels), logits.shape(), d);
+            out = cross_entropy(logits, labels);
+            break;
+          }
+          case OpKind::kConcat: {
+            std::vector<Tensor> parts;
+            for (std::size_t i = 0; i < n.inputs.size(); ++i)
+              parts.push_back(in_local(i, d));
+            out = Tensor::concat(parts,
+                                 static_cast<int>(n.attr_or("axis", 0)));
+            break;
+          }
+          default:
+            if (is_elementwise(n.kind)) {
+              out = unary_elementwise(n.kind, in_local(0, d));
+            } else {
+              TAP_CHECK(false) << "SPMD interpreter: unsupported op "
+                               << op_kind_name(n.kind) << " ('" << n.name
+                               << "')";
+            }
+        }
+        // Enforce the node's annotated layout ("free slice" of replicated
+        // results that the plan declares split). Partial results — ops
+        // contracting over a sliced axis (row-split matmul, vocab-split
+        // embedding, channel-in-split conv) — keep their full shape until
+        // the following AllReduce sums them.
+        const int ax = static_cast<int>(n.attr_or("shard_axis", -1));
+        const int waxis = static_cast<int>(n.attr_or("weight_shard_axis", -1));
+        const bool partial =
+            n.has_weight() &&
+            ((n.kind == OpKind::kMatMul && waxis == 0 &&
+              n.weight->shape.rank() == 2) ||
+             (n.kind == OpKind::kEmbedding && waxis == 0) ||
+             (n.kind == OpKind::kConv2D && waxis == 2));
+        if (ax >= 0 && !partial && n.output.shape.rank() > 0 &&
+            out.shape() == n.output.shape &&
+            n.output.shape.divisible(ax, D)) {
+          out = out.slice(ax, d, D);
+        }
+        locals[static_cast<std::size_t>(d)] = std::move(out);
+      }
+    }
+    value[static_cast<std::size_t>(id)] = std::move(locals);
+    have[static_cast<std::size_t>(id)] = true;
+  }
+
+  std::vector<std::unordered_map<std::string, Tensor>> out(
+      static_cast<std::size_t>(D));
+  for (const Node& n : g_.nodes()) {
+    if (!have[static_cast<std::size_t>(n.id)]) continue;
+    for (int d = 0; d < D; ++d) {
+      out[static_cast<std::size_t>(d)].emplace(
+          n.name,
+          value[static_cast<std::size_t>(n.id)][static_cast<std::size_t>(d)]);
+    }
+  }
+  return out;
+}
+
+float SpmdInterpreter::mean_scalar(
+    const std::vector<std::unordered_map<std::string, Tensor>>& outs,
+    const std::string& name) {
+  float sum = 0.0f;
+  for (const auto& device : outs) sum += device.at(name)[0];
+  return sum / static_cast<float>(outs.size());
+}
+
+}  // namespace tap::runtime

@@ -1,0 +1,52 @@
+// SpmdInterpreter: executes a REWRITTEN parallel graph (the output of
+// rewrite::rewrite_graph) on D simulated devices, in lockstep, with real
+// collective semantics — the closest thing to actually running the
+// per-device program the paper's step ⑤ ships to the framework runtime.
+//
+// Per device, every op computes on its *local* shard:
+//   * weights slice along the rewriter's "weight_shard_axis" annotation;
+//   * placeholder feeds slice along the node's "shard_axis";
+//   * AllReduce sums the devices' partials, AllGather concatenates along
+//     the producer's split axis, AllToAll re-slices from "from_axis" to
+//     "to_axis" (attrs stamped by the rewriter);
+//   * gradient-sync stand-ins ("/grad/AllReduce") and auxiliary ops are
+//     skipped — they have no forward value.
+//
+// The end-to-end test: the per-device losses, combined according to the
+// loss layout, equal the serial execution of the ORIGINAL graph.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/executor.h"
+
+namespace tap::runtime {
+
+class SpmdInterpreter {
+ public:
+  /// `parallel` must outlive the interpreter. `seed` must match the serial
+  /// executor's so both derive identical weights.
+  SpmdInterpreter(const Graph& parallel, int num_shards,
+                  std::uint64_t seed = 42);
+
+  /// Runs all devices in lockstep. Feeds are the LOGICAL (full) tensors;
+  /// the interpreter slices them per the placeholder annotations. Returns,
+  /// per device, every executed node's local output by name.
+  std::vector<std::unordered_map<std::string, Tensor>> run(
+      const std::unordered_map<std::string, Tensor>& feeds) const;
+
+  /// Convenience: the mean of the devices' local values for node `name`
+  /// (the global loss when every shard holds an equal batch slice).
+  static float mean_scalar(
+      const std::vector<std::unordered_map<std::string, Tensor>>& outs,
+      const std::string& name);
+
+ private:
+  const Graph& g_;
+  int num_shards_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tap::runtime

@@ -1,0 +1,119 @@
+#include "runtime/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tap::runtime {
+
+Tensor::Tensor(TensorShape shape) : shape_(std::move(shape)) {
+  TAP_CHECK(shape_.rank() == 0 || shape_.valid())
+      << "invalid tensor shape " << shape_.to_string();
+  data_.assign(static_cast<std::size_t>(shape_.num_elements()), 0.0f);
+}
+
+Tensor Tensor::random(TensorShape shape, util::Rng& rng, float scale) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.uniform(-scale, scale));
+  return t;
+}
+
+Tensor Tensor::random_ids(TensorShape shape, util::Rng& rng,
+                          std::int64_t bound) {
+  TAP_CHECK_GT(bound, 0);
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.next_below(static_cast<std::uint64_t>(bound)));
+  return t;
+}
+
+std::int64_t Tensor::stride(int axis) const {
+  int a = axis < 0 ? axis + rank() : axis;
+  TAP_CHECK(a >= 0 && a < rank());
+  std::int64_t s = 1;
+  for (int i = rank() - 1; i > a; --i) s *= shape_.dim(i);
+  return s;
+}
+
+Tensor Tensor::slice(int axis, int part, int parts) const {
+  int a = axis < 0 ? axis + rank() : axis;
+  TAP_CHECK(a >= 0 && a < rank());
+  TAP_CHECK(part >= 0 && part < parts);
+  TAP_CHECK_EQ(shape_.dim(a) % parts, 0);
+  const std::int64_t chunk = shape_.dim(a) / parts;
+
+  TensorShape out_shape = shape_.sharded(a, parts);
+  Tensor out(out_shape);
+  const std::int64_t inner = stride(a);
+  const std::int64_t src_block = shape_.dim(a) * inner;
+  const std::int64_t dst_block = chunk * inner;
+  const std::int64_t outer = num_elements() / src_block;
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* src =
+        data() + o * src_block + static_cast<std::int64_t>(part) * dst_block;
+    std::copy(src, src + dst_block, out.data() + o * dst_block);
+  }
+  return out;
+}
+
+Tensor Tensor::concat(const std::vector<Tensor>& parts, int axis) {
+  TAP_CHECK(!parts.empty());
+  const Tensor& first = parts.front();
+  int a = axis < 0 ? axis + first.rank() : axis;
+  std::int64_t total = 0;
+  for (const Tensor& p : parts) total += p.shape().dim(a);
+  TensorShape out_shape = first.shape();
+  out_shape.set_dim(a, total);
+  Tensor out(out_shape);
+
+  const std::int64_t inner = first.stride(a);
+  const std::int64_t out_block = total * inner;
+  const std::int64_t outer = out.num_elements() / out_block;
+  std::int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    const std::int64_t blk = p.shape().dim(a) * inner;
+    for (std::int64_t o = 0; o < outer; ++o) {
+      std::copy(p.data() + o * blk, p.data() + (o + 1) * blk,
+                out.data() + o * out_block + offset);
+    }
+    offset += blk;
+  }
+  return out;
+}
+
+Tensor Tensor::sum(const std::vector<Tensor>& parts) {
+  TAP_CHECK(!parts.empty());
+  Tensor out = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) out.accumulate(parts[i]);
+  return out;
+}
+
+Tensor Tensor::reshaped(TensorShape shape) const {
+  TAP_CHECK_EQ(shape.num_elements(), num_elements());
+  Tensor out = *this;
+  out.shape_ = std::move(shape);
+  return out;
+}
+
+void Tensor::accumulate(const Tensor& other) {
+  TAP_CHECK(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  TAP_CHECK(a.shape_ == b.shape_)
+      << a.shape_.to_string() << " vs " << b.shape_.to_string();
+  float worst = 0.0f;
+  for (std::int64_t i = 0; i < a.num_elements(); ++i)
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+bool Tensor::allclose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  return max_abs_diff(a, b) <= atol;
+}
+
+}  // namespace tap::runtime

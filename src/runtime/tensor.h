@@ -1,0 +1,68 @@
+// Dense CPU float tensor for the numeric runtime.
+//
+// This runtime exists to *verify* the planner, not to train fast: the
+// property tests execute a model serially and under a sharded plan and
+// assert bit-for-bit (within fp tolerance) equal outputs — the paper's
+// constraint p(X) = G(X) ∀X. Everything is row-major float32.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tensor_shape.h"
+#include "util/rng.h"
+
+namespace tap::runtime {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape);
+
+  static Tensor zeros(TensorShape shape) { return Tensor(std::move(shape)); }
+  /// Deterministic uniform values in [-scale, scale).
+  static Tensor random(TensorShape shape, util::Rng& rng,
+                       float scale = 0.05f);
+  /// Deterministic integer-valued entries in [0, bound) — token ids.
+  static Tensor random_ids(TensorShape shape, util::Rng& rng,
+                           std::int64_t bound);
+
+  const TensorShape& shape() const { return shape_; }
+  std::int64_t num_elements() const { return shape_.num_elements(); }
+  int rank() const { return shape_.rank(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Row-major stride of `axis`.
+  std::int64_t stride(int axis) const;
+
+  /// Contiguous block `part` of `parts` along `axis` (negative ok).
+  Tensor slice(int axis, int part, int parts) const;
+
+  /// Concatenates equal-shaped-except-`axis` tensors along `axis`.
+  static Tensor concat(const std::vector<Tensor>& parts, int axis);
+
+  /// Elementwise sum of equal-shaped tensors (the AllReduce of the
+  /// numeric runtime).
+  static Tensor sum(const std::vector<Tensor>& parts);
+
+  /// Returns a tensor with the same data viewed under `shape`.
+  Tensor reshaped(TensorShape shape) const;
+
+  void accumulate(const Tensor& other);
+
+  /// Max |a-b| over all elements; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+  static bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-4f);
+
+ private:
+  TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tap::runtime

@@ -1,0 +1,382 @@
+#include "sharding/routing.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tap::sharding {
+
+namespace {
+
+using ir::GraphNode;
+using ir::GraphNodeId;
+using ir::TapGraph;
+
+struct Router {
+  const TapGraph& tg;
+  const ShardingPlan& plan;
+  const std::vector<GraphNodeId>* members = nullptr;  // nullptr = all
+  ShardSpec boundary = ShardSpec::replicate();
+  const PatternTable* table = nullptr;  // optional precomputed patterns
+  RoutedPlan out;
+  std::vector<ShardingPattern> patterns_storage_;
+  // Producers whose partial input-gradient AllReduce is already emitted:
+  // several column-split consumers of one tensor (Megatron's fused QKV)
+  // sum their partials into ONE AllReduce, not one each.
+  std::vector<bool> igrad_emitted_;
+  // Layouts already materialized per producer: once one consumer paid the
+  // AllGather from S(0) to R, every other consumer reads the gathered copy
+  // for free (NCCL buffers are reusable within a step).
+  std::vector<std::vector<ShardSpec>> materialized_;
+
+  bool fail(const GraphNode& n, const std::string& why) {
+    std::ostringstream os;
+    os << "invalid at '" << n.name << "': " << why;
+    out.error = os.str();
+    out.valid = false;
+    return false;
+  }
+
+  void emit(Collective kind, std::int64_t bytes, int count,
+            CommEvent::Phase phase, bool overlappable, GraphNodeId node,
+            std::string reason,
+            GraphNodeId src = ir::kInvalidGraphNode, int group = 0,
+            bool cross_node = false) {
+    if (kind == Collective::kNone || bytes <= 0) return;
+    if (group == 0) group = plan.num_shards;
+    if (group <= 1) return;  // degenerate group: no wire traffic
+    CommEvent e;
+    e.kind = kind;
+    e.bytes = bytes;
+    e.count = count;
+    e.phase = phase;
+    e.overlappable = overlappable;
+    e.node = node;
+    e.src = src;
+    e.group = group;
+    e.cross_node = cross_node;
+    e.reason = std::move(reason);
+    out.comms.push_back(std::move(e));
+  }
+
+  /// Per-replica bytes of an activation tensor: the batch is pre-split
+  /// across the dp replicas.
+  std::int64_t act_bytes(std::int64_t full) const {
+    return full / std::max(1, plan.dp_replicas);
+  }
+
+  /// Converts the layout flowing along an edge to `want`. Returns false on
+  /// an impossible conversion (indivisible target axis).
+  bool convert(const GraphNode& consumer, const TensorSpec& tensor,
+               const ShardSpec& have, const ShardSpec& want,
+               GraphNodeId producer = ir::kInvalidGraphNode) {
+    int rank = tensor.shape.rank();
+    if (have.same_layout(want, rank)) return true;
+    if (want.is_split() && !want.fits(tensor.shape, plan.num_shards)) {
+      return fail(consumer, "cannot re-shard " + tensor.shape.to_string() +
+                                " to " + want.to_string());
+    }
+    if (have.is_replicate()) {
+      // replicate -> split: local slice, free.
+      return true;
+    }
+    // Record the edge even when the collective below is deduplicated —
+    // the rewriter must wire EVERY consumer through the conversion node.
+    if (producer != ir::kInvalidGraphNode) {
+      out.edge_conversions.push_back({producer, consumer.id, have, want});
+    }
+    if (producer != ir::kInvalidGraphNode) {
+      if (materialized_.empty()) materialized_.resize(tg.num_nodes());
+      auto& layouts =
+          materialized_[static_cast<std::size_t>(producer)];
+      for (const ShardSpec& ready : layouts) {
+        if (ready.same_layout(want, rank)) return true;  // already paid
+      }
+      layouts.push_back(want);
+    }
+    const std::size_t before = out.comms.size();
+    if (want.is_replicate()) {
+      emit(Collective::kAllGather, act_bytes(tensor.size_bytes()), 1,
+           CommEvent::Phase::kForward, false, consumer.id,
+           "reshard " + have.to_string() + "->R", producer);
+      if (out.comms.size() > before) {
+        out.comms.back().from_spec = have;
+        out.comms.back().to_spec = want;
+      }
+      emit(Collective::kReduceScatter, act_bytes(tensor.size_bytes()), 1,
+           CommEvent::Phase::kBackward, false, consumer.id,
+           "grad of reshard " + have.to_string() + "->R", producer);
+      return true;
+    }
+    // split(a) -> split(b)
+    emit(Collective::kAllToAll, act_bytes(tensor.size_bytes()), 1,
+         CommEvent::Phase::kForward, false, consumer.id,
+         "reshard " + have.to_string() + "->" + want.to_string(), producer);
+    if (out.comms.size() > before) {
+      out.comms.back().from_spec = have;
+      out.comms.back().to_spec = want;
+    }
+    emit(Collective::kAllToAll, act_bytes(tensor.size_bytes()), 1,
+         CommEvent::Phase::kBackward, false, consumer.id,
+         "grad of reshard " + have.to_string() + "->" + want.to_string(),
+         producer);
+    return true;
+  }
+
+  bool run() {
+    const int parts = plan.num_shards;
+    out.num_shards = plan.num_shards;
+    out.dp_replicas = plan.dp_replicas;
+    out.output_spec.assign(tg.num_nodes(), boundary);
+    out.pattern_index.assign(tg.num_nodes(), 0);
+    TAP_CHECK_EQ(plan.choice.size(), tg.num_nodes());
+
+    // Visit order: the whole graph topologically, or just the subgraph
+    // members sorted by cached topological position — candidate
+    // evaluation must cost O(members), not O(V) (Table 2).
+    std::vector<GraphNodeId> sorted_members;
+    if (members != nullptr) {
+      sorted_members = *members;
+      std::sort(sorted_members.begin(), sorted_members.end(),
+                [&](GraphNodeId a, GraphNodeId b) {
+                  return tg.topo_position(a) < tg.topo_position(b);
+                });
+    }
+    const std::vector<GraphNodeId>& scope =
+        members == nullptr ? tg.cached_topo_order() : sorted_members;
+
+    // Algorithm 3 walks the DAG from roots to leaves; a topological order
+    // visits each node exactly once with all producers resolved.
+    for (GraphNodeId id : scope) {
+      const GraphNode& n = tg.node(id);
+      const std::vector<ShardingPattern>& pats =
+          table != nullptr ? table->at(id) : patterns_storage_ =
+                                                 patterns_for(tg, id, parts);
+      int c = plan.choice[static_cast<std::size_t>(id)];
+      if (c < 0 || c >= static_cast<int>(pats.size())) {
+        return fail(n, "no sharding pattern with index " +
+                           std::to_string(c));
+      }
+      const ShardingPattern& pat = pats[static_cast<std::size_t>(c)];
+      out.pattern_index[static_cast<std::size_t>(id)] = c;
+
+      // Incoming layout from the primary producer (roots see replicated
+      // feeds).
+      ShardSpec incoming = ShardSpec::replicate();
+      const TensorSpec* in_tensor = nullptr;
+      if (!n.inputs.empty()) {
+        GraphNodeId p = n.inputs.front();
+        incoming = out.output_spec[static_cast<std::size_t>(p)];
+        in_tensor = &tg.node(p).output;
+      }
+
+      // Effective input layout after honoring the pattern's requirement.
+      ShardSpec effective = incoming;
+      if (pat.input.has_value() && in_tensor != nullptr) {
+        if (!convert(n, *in_tensor, incoming, *pat.input, n.inputs.front()))
+          return false;
+        effective = *pat.input;
+      }
+      // Ops that reduce over the last axis cannot consume a last-axis
+      // split; gather it back.
+      if (!pat.input.has_value() && in_tensor != nullptr &&
+          effective.is_split() &&
+          rejects_last_axis_split(n.primary_kind) &&
+          effective.resolved_axis(in_tensor->shape.rank()) ==
+              in_tensor->shape.rank() - 1) {
+        if (!convert(n, *in_tensor, effective, ShardSpec::replicate(),
+                     n.inputs.front()))
+          return false;
+        effective = ShardSpec::replicate();
+      }
+      // Secondary inputs must arrive in the same layout (residual adds,
+      // attention memories); convert them.
+      for (std::size_t i = 1; i < n.inputs.size(); ++i) {
+        GraphNodeId p = n.inputs[i];
+        const TensorSpec& t = tg.node(p).output;
+        ShardSpec have = out.output_spec[static_cast<std::size_t>(p)];
+        // Only meaningful when shapes are compatible; smaller side tensors
+        // (labels, router probs) just need *a* consistent layout — treat
+        // mismatched ranks as replicated requirements.
+        ShardSpec want = effective;
+        if (t.shape.rank() != (in_tensor ? in_tensor->shape.rank() : 0))
+          want = ShardSpec::replicate();
+        if (!convert(n, t, have, want, p)) return false;
+      }
+
+      // Output layout.
+      ShardSpec produced = pat.output.has_value() ? *pat.output : effective;
+      if (produced.is_split()) {
+        if (n.output.shape.rank() == 0) {
+          produced = ShardSpec::replicate();  // scalar losses collapse
+        } else if (!produced.fits(n.output.shape, parts)) {
+          return fail(n, "output " + n.output.shape.to_string() +
+                             " not divisible under " + produced.to_string());
+        }
+      }
+      out.output_spec[static_cast<std::size_t>(id)] = produced;
+
+      // Pattern collectives.
+      if (pat.forward_comm != Collective::kNone) {
+        emit(pat.forward_comm, act_bytes(n.output.size_bytes()),
+             pat.forward_comm_count, CommEvent::Phase::kForward, false, id,
+             "pattern:" + pat.name);
+        if (pat.forward_comm == Collective::kAllToAll) {
+          // Expert dispatch/combine repeats on the gradient path.
+          emit(pat.forward_comm, act_bytes(n.output.size_bytes()),
+               pat.forward_comm_count, CommEvent::Phase::kBackward, false,
+               id, "grad:" + pat.name);
+        }
+      }
+      if (n.has_weight()) {
+        const Graph& g = *tg.source();
+        const int dp = std::max(1, plan.dp_replicas);
+        // A replicated weight needs its gradients synchronized across
+        // every device that saw *different data*: always the dp replicas,
+        // plus the tp group whenever the activation stream is split within
+        // it (batch-split dp pattern or any sharded layout flowing
+        // through). A weight computed from fully replicated data yields
+        // identical gradients — no communication.
+        const bool data_diverges_in_tp =
+            pat.name == "dp" || effective.is_split() ||
+            (pat.output.has_value() && pat.output->is_split());
+        const int replicated_group =
+            data_diverges_in_tp ? dp * plan.num_shards : dp;
+        if (pat.replicates_weight()) {
+          // Every weight in the cluster stays replicated: one gradient
+          // AllReduce over all of them; overlappable with backward compute
+          // and foldable by gradient packing (§4.6).
+          std::int64_t wbytes = 0;
+          for (NodeId wid : n.weight_ops) {
+            const Node& w = g.node(wid);
+            if (w.trainable) wbytes += w.weight->size_bytes();
+          }
+          emit(Collective::kAllReduce, wbytes, 1, CommEvent::Phase::kBackward,
+               true, id, "wgrad:" + pat.name, ir::kInvalidGraphNode,
+               replicated_group, /*cross_node=*/dp > 1);
+        } else {
+          // Primary weight is split (its gradients stay local); secondary
+          // weights (norm gains, biases inside the cluster) remain
+          // replicated and still need their gradient AllReduce.
+          const Node* primary = nullptr;
+          for (NodeId wid : n.weight_ops) {
+            const Node& w = g.node(wid);
+            if (!primary || w.weight_params() > primary->weight_params())
+              primary = &w;
+          }
+          std::int64_t wbytes = 0;
+          std::int64_t primary_bytes = 0;
+          for (NodeId wid : n.weight_ops) {
+            const Node& w = g.node(wid);
+            if (&w == primary) {
+              if (w.trainable) primary_bytes = w.weight->size_bytes();
+            } else if (w.trainable) {
+              wbytes += w.weight->size_bytes();
+            }
+          }
+          emit(Collective::kAllReduce, wbytes, 1,
+               CommEvent::Phase::kBackward, true, id, "wgrad:secondary",
+               ir::kInvalidGraphNode, replicated_group,
+               /*cross_node=*/dp > 1);
+          if (dp > 1 && primary_bytes > 0) {
+            // The tp-sharded primary weight still synchronizes its local
+            // shard across the dp replicas.
+            emit(Collective::kAllReduce, primary_bytes / plan.num_shards, 1,
+                 CommEvent::Phase::kBackward, true, id,
+                 "wgrad:dp-shard:" + pat.name, ir::kInvalidGraphNode, dp,
+                 /*cross_node=*/true);
+          }
+        }
+        if (pat.backward_subject == BwdSubject::kInputGrad &&
+            pat.backward_comm != Collective::kNone && in_tensor != nullptr) {
+          // Partial input gradients block the backward chain. One
+          // AllReduce per producer tensor, shared by all split consumers.
+          const std::size_t p =
+              static_cast<std::size_t>(n.inputs.front());
+          if (igrad_emitted_.empty())
+            igrad_emitted_.assign(tg.num_nodes(), false);
+          if (!igrad_emitted_[p]) {
+            igrad_emitted_[p] = true;
+            emit(pat.backward_comm, act_bytes(in_tensor->size_bytes()), 1,
+                 CommEvent::Phase::kBackward, false, id,
+                 "igrad:" + pat.name, n.inputs.front());
+          }
+        }
+      }
+    }
+    out.valid = true;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::int64_t RoutedPlan::total_comm_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& e : comms) b += e.bytes * e.count;
+  return b;
+}
+
+std::int64_t RoutedPlan::forward_comm_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& e : comms)
+    if (e.phase == CommEvent::Phase::kForward) b += e.bytes * e.count;
+  return b;
+}
+
+std::int64_t RoutedPlan::backward_comm_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& e : comms)
+    if (e.phase == CommEvent::Phase::kBackward) b += e.bytes * e.count;
+  return b;
+}
+
+std::int64_t RoutedPlan::overlappable_comm_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& e : comms)
+    if (e.overlappable) b += e.bytes * e.count;
+  return b;
+}
+
+RoutedPlan route_plan(const ir::TapGraph& tg, const ShardingPlan& plan,
+                      const PatternTable* table) {
+  Router r{tg, plan, nullptr, ShardSpec::replicate(), table, {}, {}, {}, {}};
+  r.run();
+  return std::move(r.out);
+}
+
+RoutedPlan route_subgraph(const ir::TapGraph& tg, const ShardingPlan& plan,
+                          const std::vector<ir::GraphNodeId>& members,
+                          const ShardSpec& boundary,
+                          const PatternTable* table) {
+  Router r{tg, plan, &members, boundary, table, {}, {}, {}, {}};
+  r.run();
+  return std::move(r.out);
+}
+
+ShardSpec subgraph_exit_spec(const ir::TapGraph& tg, const RoutedPlan& routed,
+                             const std::vector<ir::GraphNodeId>& members) {
+  if (members.empty()) return ShardSpec::replicate();
+  // O(members): find the member with the highest topo position that feeds
+  // a consumer outside the set (membership tested via sorted ids).
+  std::vector<GraphNodeId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  auto in_set = [&](GraphNodeId id) {
+    return std::binary_search(sorted.begin(), sorted.end(), id);
+  };
+  GraphNodeId exit = ir::kInvalidGraphNode;
+  int best_pos = -1;
+  for (GraphNodeId id : members) {
+    bool external = tg.consumers(id).empty();
+    for (GraphNodeId c : tg.consumers(id)) external |= !in_set(c);
+    if (external && tg.topo_position(id) > best_pos) {
+      best_pos = tg.topo_position(id);
+      exit = id;
+    }
+  }
+  if (exit == ir::kInvalidGraphNode) exit = members.back();
+  return routed.output_spec[static_cast<std::size_t>(exit)];
+}
+
+}  // namespace tap::sharding

@@ -1,0 +1,109 @@
+// Pattern routing (§4.5, Algorithm 3): validate that a candidate plan's
+// patterns chain into a connected root→leaf path, resolving every edge's
+// tensor layout and inserting re-shard collectives where producer and
+// consumer layouts disagree.
+//
+// Conversions the router may insert on an edge:
+//   replicate → split       : free (each device slices locally)
+//   split     → replicate   : AllGather  (mirrored by a backward
+//                             ReduceScatter on the gradient path)
+//   split(a)  → split(b)    : AllToAll   (mirrored by a backward AllToAll)
+// A conversion to a split layout is only legal when the tensor axis
+// divides evenly across the group; otherwise the plan is INVALID — this is
+// the FALSE branch of Algorithm 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sharding/plan.h"
+
+namespace tap::sharding {
+
+/// One collective the routed plan requires.
+struct CommEvent {
+  enum class Phase : std::uint8_t { kForward, kBackward };
+
+  Collective kind = Collective::kNone;
+  /// Full logical bytes of the tensor being communicated (already scaled
+  /// to the per-replica activation size when dp > 1).
+  std::int64_t bytes = 0;
+  int count = 1;
+  Phase phase = Phase::kForward;
+  /// Devices participating in the collective (tp group for activation
+  /// collectives, dp group or the whole world for gradient sync). 0 means
+  /// "the plan's tp group" for backward compatibility.
+  int group = 0;
+  /// True for collectives over the dp dimension, which is laid out across
+  /// nodes: the cost model must use inter-node bandwidth even when the
+  /// group is small.
+  bool cross_node = false;
+  /// Weight-gradient AllReduces can overlap with backward compute and be
+  /// fused by gradient packing (§4.6/§4.7.1); layout conversions and
+  /// partial-sum reductions on the activation path cannot.
+  bool overlappable = false;
+  ir::GraphNodeId node = ir::kInvalidGraphNode;
+  /// For reshard events: the producer cluster of the converted edge.
+  ir::GraphNodeId src = ir::kInvalidGraphNode;
+  /// For reshard events: the layouts being converted between.
+  ShardSpec from_spec = ShardSpec::replicate();
+  ShardSpec to_spec = ShardSpec::replicate();
+  std::string reason;
+};
+
+/// One edge whose tensor must change layout between producer and consumer
+/// clusters — recorded for EVERY such edge, including consumers that reuse
+/// a conversion another consumer already paid for (the rewriter wires each
+/// of them through the shared conversion node).
+struct EdgeConversion {
+  ir::GraphNodeId src = ir::kInvalidGraphNode;
+  ir::GraphNodeId dst = ir::kInvalidGraphNode;
+  ShardSpec from = ShardSpec::replicate();
+  ShardSpec to = ShardSpec::replicate();
+};
+
+struct RoutedPlan {
+  bool valid = false;
+  std::string error;
+  /// The mesh the plan was routed for (copied from the ShardingPlan).
+  int num_shards = 1;
+  int dp_replicas = 1;
+  /// Resolved output layout per GraphNode.
+  std::vector<ShardSpec> output_spec;
+  /// Resolved pattern per GraphNode (index into patterns_for).
+  std::vector<int> pattern_index;
+  std::vector<CommEvent> comms;
+  /// Layout changes per edge (see EdgeConversion).
+  std::vector<EdgeConversion> edge_conversions;
+
+  std::int64_t total_comm_bytes() const;
+  std::int64_t forward_comm_bytes() const;
+  std::int64_t backward_comm_bytes() const;
+  std::int64_t overlappable_comm_bytes() const;
+};
+
+/// Routes `plan` over the whole TapGraph. Always returns a RoutedPlan;
+/// check `valid` / `error`.
+RoutedPlan route_plan(const ir::TapGraph& tg, const ShardingPlan& plan,
+                      const PatternTable* table = nullptr);
+
+/// Routes only the GraphNodes in `members` (one pruned-subgraph family
+/// instance); tensors entering from outside the subgraph are assumed to
+/// arrive in layout `boundary`. This is what makes TAP's candidate
+/// evaluation O(E / 2CL) (Table 2): the 729 T5-block candidates each touch
+/// one block, not the whole model. For chained blocks, evaluate in steady
+/// state: route once with a replicated boundary to learn the exit layout,
+/// then score with boundary = exit layout.
+RoutedPlan route_subgraph(
+    const ir::TapGraph& tg, const ShardingPlan& plan,
+    const std::vector<ir::GraphNodeId>& members,
+    const ShardSpec& boundary = ShardSpec::replicate(),
+    const PatternTable* table = nullptr);
+
+/// Layout a routed subgraph hands to downstream consumers: the output spec
+/// of the last member (in topological order) with a consumer outside
+/// `members` (or the last member overall).
+ShardSpec subgraph_exit_spec(const ir::TapGraph& tg, const RoutedPlan& routed,
+                             const std::vector<ir::GraphNodeId>& members);
+
+}  // namespace tap::sharding

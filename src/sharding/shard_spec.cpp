@@ -1,0 +1,17 @@
+#include "sharding/shard_spec.h"
+
+namespace tap::sharding {
+
+std::string_view collective_name(Collective c) {
+  switch (c) {
+    case Collective::kNone: return "None";
+    case Collective::kAllReduce: return "AllReduce";
+    case Collective::kAllGather: return "AllGather";
+    case Collective::kReduceScatter: return "ReduceScatter";
+    case Collective::kAllToAll: return "AllToAll";
+    case Collective::kBroadcast: return "Broadcast";
+  }
+  return "?";
+}
+
+}  // namespace tap::sharding

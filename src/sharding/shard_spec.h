@@ -1,0 +1,108 @@
+// The Split-Replica-Communication (SRC) abstraction (§3.4).
+//
+// A ShardSpec describes how one logical tensor is laid out across the
+// device group: fully replicated, or split along one axis. Data parallelism
+// is the special case Split(0) on the batch axis of activations with
+// replicated weights. Communication is not part of the spec itself — it is
+// derived (the "C" of SRC) whenever an operator's required input spec or
+// produced output spec does not match what flows along an edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/tensor_shape.h"
+
+namespace tap::sharding {
+
+struct ShardSpec {
+  enum class Kind : std::uint8_t { kReplicate, kSplit };
+
+  Kind kind = Kind::kReplicate;
+  /// Split axis; negative axes count from the end (-1 = last dim).
+  int axis = 0;
+
+  static ShardSpec replicate() { return {Kind::kReplicate, 0}; }
+  static ShardSpec split(int axis) { return {Kind::kSplit, axis}; }
+
+  bool is_split() const { return kind == Kind::kSplit; }
+  bool is_replicate() const { return kind == Kind::kReplicate; }
+
+  /// Resolves a negative axis against `rank` (-1 -> rank-1). Replicate
+  /// specs return -1.
+  int resolved_axis(int rank) const {
+    if (!is_split()) return -1;
+    return axis < 0 ? axis + rank : axis;
+  }
+
+  /// True when two specs describe the same layout for a tensor of `rank`.
+  bool same_layout(const ShardSpec& other, int rank) const {
+    if (kind != other.kind) return false;
+    if (!is_split()) return true;
+    return resolved_axis(rank) == other.resolved_axis(rank);
+  }
+
+  /// True if a tensor with `shape` can be laid out this way over `parts`
+  /// devices (split axis exists and divides evenly).
+  bool fits(const TensorShape& shape, int parts) const {
+    if (!is_split()) return true;
+    return shape.divisible(axis, parts);
+  }
+
+  /// Per-device shape under this spec.
+  TensorShape local_shape(const TensorShape& shape, int parts) const {
+    if (!is_split()) return shape;
+    return shape.sharded(axis, parts);
+  }
+
+  std::string to_string() const {
+    if (!is_split()) return "R";
+    return "S(" + std::to_string(axis) + ")";
+  }
+
+  friend bool operator==(const ShardSpec& a, const ShardSpec& b) {
+    if (a.kind != b.kind) return false;
+    return !a.is_split() || a.axis == b.axis;
+  }
+  friend bool operator!=(const ShardSpec& a, const ShardSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// The logical device mesh of the paper's Example 1 (`mesh = [2, 8]`,
+/// `tap.auto_parallel(tap.split(mesh))`): `dp` data-parallel replicas
+/// (outer dimension, laid across nodes) × `tp` tensor-parallel devices
+/// (inner dimension, packed within a node whenever tp <= GPUs/node).
+/// Weights shard across the tp group; the batch splits across the dp
+/// group; replicated-weight gradients AllReduce across dp (or the whole
+/// world when tp also replicates them). mesh{1, n} reproduces the flat
+/// single-group behaviour.
+struct MeshSpec {
+  int dp = 1;
+  int tp = 1;
+
+  int world() const { return dp * tp; }
+  static MeshSpec flat(int n) { return {1, n}; }
+  std::string to_string() const {
+    return "[" + std::to_string(dp) + ", " + std::to_string(tp) + "]";
+  }
+  friend bool operator==(const MeshSpec& a, const MeshSpec& b) {
+    return a.dp == b.dp && a.tp == b.tp;
+  }
+};
+
+/// Collective communication primitives the rewriter can insert — ordered
+/// roughly by NCCL efficiency (§4.6: AllToAll and AllGather move the same
+/// bytes slower than the heavily optimized AllReduce).
+enum class Collective : std::uint8_t {
+  kNone,
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kAllToAll,
+  kBroadcast,
+};
+
+std::string_view collective_name(Collective c);
+
+}  // namespace tap::sharding

@@ -1,0 +1,28 @@
+#include "sim/loss_curve.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tap::sim {
+
+std::vector<double> simulate_loss_curve(const LossCurveConfig& cfg) {
+  TAP_CHECK_GT(cfg.params, 0.0);
+  TAP_CHECK_GT(cfg.steps, 0);
+  util::Rng rng(cfg.seed);
+  std::vector<double> loss(static_cast<std::size_t>(cfg.steps));
+  const double scale =
+      cfg.amplitude * std::pow(cfg.params, -cfg.param_exponent);
+  for (int s = 0; s < cfg.steps; ++s) {
+    const double base =
+        cfg.irreducible +
+        scale * std::pow(static_cast<double>(s) + cfg.warmup_steps,
+                         -cfg.step_exponent);
+    loss[static_cast<std::size_t>(s)] =
+        base * (1.0 + cfg.noise * rng.normal());
+  }
+  return loss;
+}
+
+}  // namespace tap::sim

@@ -1,0 +1,29 @@
+// Synthetic training-loss curves for the M6-MoE convergence figure
+// (Fig. 15). No M6 data exists outside Alibaba; the figure's claim — the
+// 1T-parameter model reaches lower loss than the 100B model within the
+// same step budget — follows from a standard neural scaling law
+//   L(N, s) = L∞ + A · N^(−α) · (s + s₀)^(−β)
+// plus small seeded noise. Documented as a substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tap::sim {
+
+struct LossCurveConfig {
+  double params = 1e11;        ///< N, trainable parameters
+  int steps = 1000;            ///< samples to generate
+  double irreducible = 1.69;   ///< L∞
+  double amplitude = 85.0;     ///< A
+  double param_exponent = 0.076;  ///< α
+  double step_exponent = 0.35;    ///< β
+  double warmup_steps = 50.0;     ///< s₀
+  double noise = 0.01;
+  std::uint64_t seed = 7;
+};
+
+/// Loss at each step (size = cfg.steps).
+std::vector<double> simulate_loss_curve(const LossCurveConfig& cfg);
+
+}  // namespace tap::sim

@@ -1,0 +1,256 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "cost/collectives.h"
+#include "cost/flops.h"
+#include "fusion/fusion.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace tap::sim {
+
+namespace {
+
+using ir::GraphNodeId;
+using sharding::CommEvent;
+
+/// Two-resource list scheduler state (one SPMD device's streams).
+struct Streams {
+  double compute_free = 0.0;
+  double comm_free = 0.0;
+  double makespan = 0.0;
+  Trace* trace = nullptr;
+  const char* phase = "forward";
+
+  void record(const std::string& name, double start, double dur, int lane) {
+    if (trace != nullptr && dur > 0.0)
+      trace->add(name, phase, start, dur, lane);
+  }
+
+  double run_compute(double ready, double dur,
+                     const std::string& name = {}) {
+    double start = std::max(ready, compute_free);
+    compute_free = start + dur;
+    makespan = std::max(makespan, compute_free);
+    record(name, start, dur, /*lane=*/0);
+    return compute_free;
+  }
+  double run_comm(double ready, double dur, bool blocking,
+                  const std::string& name = {}) {
+    double start = std::max(ready, comm_free);
+    if (blocking) start = std::max(start, compute_free);
+    comm_free = start + dur;
+    if (blocking) compute_free = comm_free;
+    makespan = std::max(makespan, comm_free);
+    record(name, start, dur, /*lane=*/1);
+    return comm_free;
+  }
+};
+
+}  // namespace
+
+StepBreakdown simulate_step(const ir::TapGraph& tg,
+                            const sharding::RoutedPlan& routed,
+                            int num_shards, const cost::ClusterSpec& cluster,
+                            const SimOptions& opts) {
+  TAP_CHECK(routed.valid) << "cannot simulate invalid plan: " << routed.error;
+  const Graph& g = *tg.source();
+  const int D = num_shards;
+
+  StepBreakdown out;
+  out.memory = cost::estimate_memory(tg, routed, D, opts.training);
+  const double amp_speed =
+      opts.training.amp ? opts.training.amp_compute_speedup : 1.0;
+  const double amp_bytes = opts.training.amp ? 0.5 : 1.0;
+  const double recompute_factor =
+      opts.training.recompute ? 1.0 + opts.training.recompute_extra_backward
+                              : 1.0;
+
+  // --- per-cluster durations ------------------------------------------------
+  std::vector<double> fwd_dur(tg.num_nodes(), 0.0);
+  std::vector<double> bwd_dur(tg.num_nodes(), 0.0);
+  for (const auto& n : tg.nodes()) {
+    auto pats = sharding::patterns_for(tg, n.id, D, routed.dp_replicas);
+    const auto& pat = pats[static_cast<std::size_t>(
+        routed.pattern_index[static_cast<std::size_t>(n.id)])];
+    const sharding::ShardSpec& ospec =
+        routed.output_spec[static_cast<std::size_t>(n.id)];
+    const double dp = static_cast<double>(std::max(1, routed.dp_replicas));
+    const double shrink =
+        dp * ((ospec.is_split() || pat.weight.is_split())
+                  ? static_cast<double>(D)
+                  : 1.0);
+    for (NodeId op : n.ops) {
+      const Node& node = g.node(op);
+      const bool fused = opts.xla_fusion && fusion::is_fusable(node.kind);
+      const double t =
+          cost::op_time(node, g, cluster, shrink, fused) / amp_speed;
+      fwd_dur[static_cast<std::size_t>(n.id)] += t;
+      bwd_dur[static_cast<std::size_t>(n.id)] +=
+          t * cost::backward_factor(node.kind) * recompute_factor;
+    }
+  }
+
+  // --- index comm events by cluster ----------------------------------------
+  std::vector<std::vector<const CommEvent*>> fwd_comm(tg.num_nodes());
+  std::vector<std::vector<const CommEvent*>> bwd_blocking(tg.num_nodes());
+  std::vector<const CommEvent*> wgrads;  // topo order; reversed below
+  for (const CommEvent& e : routed.comms) {
+    if (e.overlappable) {
+      wgrads.push_back(&e);
+    } else if (e.phase == CommEvent::Phase::kForward) {
+      fwd_comm[static_cast<std::size_t>(e.node)].push_back(&e);
+    } else {
+      bwd_blocking[static_cast<std::size_t>(e.node)].push_back(&e);
+    }
+  }
+  std::reverse(wgrads.begin(), wgrads.end());  // backward order
+
+  auto comm_time = [&](const CommEvent& e) {
+    const int group = e.group > 0 ? e.group : D;
+    const auto bytes =
+        static_cast<std::int64_t>(static_cast<double>(e.bytes) * amp_bytes);
+    return cost::collective_time(e.kind, bytes, group, cluster,
+                                 e.cross_node) *
+           e.count;
+  };
+
+  Streams s;
+  s.trace = opts.trace;
+  std::vector<double> fwd_finish(tg.num_nodes(), 0.0);
+  std::vector<double> bwd_finish(tg.num_nodes(), 0.0);
+  const std::vector<GraphNodeId> topo = tg.topo_order();
+
+  // --- forward pass ----------------------------------------------------------
+  for (GraphNodeId id : topo) {
+    const auto& n = tg.node(id);
+    double ready = 0.0;
+    for (GraphNodeId in : n.inputs)
+      ready = std::max(ready, fwd_finish[static_cast<std::size_t>(in)]);
+    // Layout conversions happen before the consumer computes; pattern
+    // collectives right after.
+    double t = ready;
+    for (const CommEvent* e : fwd_comm[static_cast<std::size_t>(id)]) {
+      if (e->reason.rfind("reshard", 0) != 0) continue;
+      t = s.run_comm(t, comm_time(*e), /*blocking=*/true,
+                     n.name + ":" + e->reason);
+      out.comm_s += comm_time(*e);
+      ++out.comm_messages;
+    }
+    t = s.run_compute(t, fwd_dur[static_cast<std::size_t>(id)],
+                      n.name + ":fwd");
+    out.forward_compute_s += fwd_dur[static_cast<std::size_t>(id)];
+    for (const CommEvent* e : fwd_comm[static_cast<std::size_t>(id)]) {
+      if (e->reason.rfind("reshard", 0) == 0) continue;
+      t = s.run_comm(t, comm_time(*e), /*blocking=*/true,
+                     n.name + ":" + e->reason);
+      out.comm_s += comm_time(*e);
+      ++out.comm_messages;
+    }
+    fwd_finish[static_cast<std::size_t>(id)] = t;
+  }
+
+  // --- backward pass ---------------------------------------------------------
+  s.phase = "backward";
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    GraphNodeId id = *it;
+    double ready = 0.0;  // dependencies via consumers
+    for (GraphNodeId c : tg.consumers(id))
+      ready = std::max(ready, bwd_finish[static_cast<std::size_t>(c)]);
+    ready = std::max(ready, fwd_finish[static_cast<std::size_t>(id)]);
+    double t = s.run_compute(ready, bwd_dur[static_cast<std::size_t>(id)],
+                             tg.node(id).name + ":bwd");
+    out.backward_compute_s += bwd_dur[static_cast<std::size_t>(id)];
+    for (const CommEvent* e : bwd_blocking[static_cast<std::size_t>(id)]) {
+      t = s.run_comm(t, comm_time(*e), /*blocking=*/true,
+                     tg.node(id).name + ":" + e->reason);
+      out.comm_s += comm_time(*e);
+      ++out.comm_messages;
+    }
+    bwd_finish[static_cast<std::size_t>(id)] = t;
+  }
+  s.phase = "gradsync";
+
+  // --- gradient synchronization + weight update -------------------------------
+  // Pack the overlappable weight-gradient collectives into buckets.
+  std::vector<rewrite::GradientTensor> grads;
+  grads.reserve(wgrads.size());
+  for (const CommEvent* e : wgrads)
+    grads.push_back({tg.node(e->node).name, e->bytes});
+  rewrite::PackingResult packed;
+  if (opts.gradient_packing) {
+    packed = rewrite::pack_gradients(grads, opts.packing);
+  } else {
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      rewrite::GradientBucket b;
+      b.gradient_indices = {i};
+      b.bytes = grads[i].bytes;
+      packed.buckets.push_back(std::move(b));
+    }
+    packed.messages_before = packed.messages_after = grads.size();
+  }
+
+  // With XLA fusion, a gradient collective cannot launch until the fused
+  // kernel enclosing its producer retires — model that as a launch delay
+  // of a few average cluster-backward durations (§6.2.2's overlap
+  // hindrance).
+  const double fusion_delay =
+      opts.xla_fusion && tg.num_nodes() > 0
+          ? 4.0 * out.backward_compute_s /
+                static_cast<double>(tg.num_nodes())
+          : 0.0;
+
+  for (const auto& bucket : packed.buckets) {
+    // A bucket is ready once the latest contributing cluster finished its
+    // backward compute.
+    double ready = 0.0;
+    for (std::size_t gi : bucket.gradient_indices)
+      ready = std::max(
+          ready, bwd_finish[static_cast<std::size_t>(wgrads[gi]->node)]);
+    ready += fusion_delay;
+    int group = 1;
+    bool cross = false;
+    for (std::size_t gi : bucket.gradient_indices) {
+      group = std::max(group,
+                       wgrads[gi]->group > 0 ? wgrads[gi]->group : D);
+      cross |= wgrads[gi]->cross_node;
+    }
+    const double dur = cost::collective_time(
+        sharding::Collective::kAllReduce,
+        static_cast<std::int64_t>(static_cast<double>(bucket.bytes) *
+                                  amp_bytes),
+        group, cluster, cross);
+    // Overlaps backward compute on the COMM stream.
+    double done = s.run_comm(
+        ready, dur, /*blocking=*/false,
+        "grad bucket (" +
+            std::to_string(bucket.gradient_indices.size()) + " tensors)");
+    out.comm_s += dur;
+    ++out.comm_messages;
+    // Pipelined weight update per bucket (§4.7.1).
+    const double upd =
+        3.0 * static_cast<double>(bucket.bytes) / cluster.mem_bw;
+    s.run_compute(done, upd, "weight update");
+    out.update_s += upd;
+  }
+
+  if (opts.training.zero1 && routed.dp_replicas > 1) {
+    // ZeRO-1: each dp replica updates only its optimizer shard, then the
+    // refreshed weights are re-gathered across the dp group.
+    const double gather = cost::collective_time(
+        sharding::Collective::kAllGather,
+        static_cast<std::int64_t>(
+            static_cast<double>(out.memory.weight_bytes) * amp_bytes),
+        routed.dp_replicas, cluster, /*cross_node=*/true);
+    s.run_comm(s.makespan, gather, /*blocking=*/true, "zero1 weight gather");
+    out.comm_s += gather;
+    ++out.comm_messages;
+  }
+
+  out.iteration_s = s.makespan;
+  out.exposed_comm_s = std::max(0.0, out.iteration_s - out.compute_s());
+  return out;
+}
+
+}  // namespace tap::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace tap::sim {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.category) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << e.lane << ",\"ts\":" << static_cast<long long>(e.start_s * 1e6)
+       << ",\"dur\":" << static_cast<long long>(e.duration_s * 1e6) << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+double Trace::lane_busy_s(int lane) const {
+  double total = 0.0;
+  for (const TraceEvent& e : events_)
+    if (e.lane == lane) total += e.duration_s;
+  return total;
+}
+
+}  // namespace tap::sim

@@ -1,0 +1,43 @@
+// Execution-trace capture for the training-step simulator, exportable to
+// the Chrome tracing format (chrome://tracing or https://ui.perfetto.dev):
+// one lane for the compute stream, one for the communication stream, so
+// overlap, bubbles and exposed collectives are visible at a glance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tap::sim {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;  ///< "forward" / "backward" / "comm" / "update"
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  int lane = 0;  ///< 0 = compute stream, 1 = comm stream
+};
+
+class Trace {
+ public:
+  void add(std::string name, std::string category, double start_s,
+           double duration_s, int lane) {
+    events_.push_back(
+        {std::move(name), std::move(category), start_s, duration_s, lane});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete 'X' events;
+  /// microsecond timestamps).
+  std::string to_chrome_json() const;
+
+  /// Total busy time per lane, seconds.
+  double lane_busy_s(int lane) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tap::sim

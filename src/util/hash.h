@@ -1,0 +1,43 @@
+// FNV-1a based structural hashing used for subgraph fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tap::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t hash_bytes(const void* data, std::size_t n,
+                                std::uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_str(std::string_view s,
+                              std::uint64_t seed = kFnvOffset) {
+  return hash_bytes(s.data(), s.size(), seed);
+}
+
+inline std::uint64_t hash_u64(std::uint64_t v,
+                              std::uint64_t seed = kFnvOffset) {
+  return hash_bytes(&v, sizeof(v), seed);
+}
+
+/// Order-dependent combine.
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return hash_u64(b, a * kFnvPrime + 0x9e3779b97f4a7c15ull);
+}
+
+/// Order-independent combine (commutative, for multiset fingerprints).
+inline std::uint64_t hash_mix_unordered(std::uint64_t acc, std::uint64_t v) {
+  return acc + (v | 1) * 0x9e3779b97f4a7c15ull;
+}
+
+}  // namespace tap::util

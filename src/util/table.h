@@ -1,0 +1,32 @@
+// Minimal fixed-width ASCII table printer used by the bench binaries to
+// emit paper-style tables/series. Kept deliberately simple: a header row,
+// string cells, column widths computed from content.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tap::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting convenience ("%.2f" etc).
+std::string fmt(const char* spec, double v);
+
+}  // namespace tap::util

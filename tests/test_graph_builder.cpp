@@ -1,0 +1,145 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace tap {
+namespace {
+
+TEST(GraphBuilder, ScopesQualifyNames) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {4, 8});
+  {
+    auto s1 = b.scope("enc");
+    auto s2 = b.scope("block_0");
+    b.relu("act", x);
+  }
+  Graph g = b.take();
+  EXPECT_TRUE(g.contains("x"));
+  EXPECT_TRUE(g.contains("enc/block_0/act"));
+}
+
+TEST(GraphBuilder, MatMulShapesAndWeight) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {16, 128, 512});
+  NodeId y = b.matmul("proj", x, 2048);
+  Graph g = b.take();
+  const Node& n = g.node(y);
+  EXPECT_EQ(n.output.shape, TensorShape({16, 128, 2048}));
+  ASSERT_TRUE(n.has_weight());
+  EXPECT_EQ(n.weight->shape, TensorShape({512, 2048}));
+  EXPECT_TRUE(n.trainable);
+}
+
+TEST(GraphBuilder, Conv2dSamePaddingStride) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("img", {8, 224, 224, 3});
+  NodeId c = b.conv2d("conv1", x, 64, 7, 2);
+  Graph g = b.take();
+  const Node& n = g.node(c);
+  EXPECT_EQ(n.output.shape, TensorShape({8, 112, 112, 64}));
+  EXPECT_EQ(n.weight->shape, TensorShape({7, 7, 3, 64}));
+  EXPECT_EQ(n.attr_or("stride", 0), 2);
+}
+
+TEST(GraphBuilder, EmbeddingAppendsHiddenDim) {
+  GraphBuilder b("g");
+  NodeId ids = b.placeholder("ids", {16, 512}, DType::kI32);
+  NodeId e = b.embedding("tok", ids, 32000, 1024);
+  Graph g = b.take();
+  EXPECT_EQ(g.node(e).output.shape, TensorShape({16, 512, 1024}));
+  EXPECT_EQ(g.node(e).weight->shape, TensorShape({32000, 1024}));
+}
+
+TEST(GraphBuilder, LayerNormWeightIsGainBias) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {4, 128});
+  NodeId ln = b.layer_norm("ln", x);
+  Graph g = b.take();
+  EXPECT_EQ(g.node(ln).weight->shape, TensorShape({2, 128}));
+  EXPECT_EQ(g.node(ln).output.shape, TensorShape({4, 128}));
+}
+
+TEST(GraphBuilder, BinaryShapeMismatchThrows) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {4, 8});
+  NodeId y = b.placeholder("y", {4, 9});
+  EXPECT_THROW(b.add("sum", x, y), CheckError);
+}
+
+TEST(GraphBuilder, ReshapePreservesElements) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {4, 8});
+  NodeId r = b.reshape("r", x, TensorShape{32});
+  EXPECT_EQ(b.graph().node(r).output.shape, TensorShape({32}));
+  EXPECT_THROW(b.reshape("bad", x, TensorShape{33}), CheckError);
+}
+
+TEST(GraphBuilder, TransposePermutesDims) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {2, 3, 5});
+  NodeId t = b.transpose("t", x, {2, 0, 1});
+  EXPECT_EQ(b.graph().node(t).output.shape, TensorShape({5, 2, 3}));
+}
+
+TEST(GraphBuilder, BatchMatMulContractions) {
+  GraphBuilder b("g");
+  NodeId a = b.placeholder("a", {8, 12, 64, 32});
+  NodeId c = b.placeholder("c", {8, 12, 32, 64});
+  NodeId y = b.batch_matmul("bmm", a, c);
+  EXPECT_EQ(b.graph().node(y).output.shape, TensorShape({8, 12, 64, 64}));
+
+  NodeId bad = b.placeholder("bad", {8, 12, 33, 64});
+  EXPECT_THROW(b.batch_matmul("bmm2", a, bad), CheckError);
+}
+
+TEST(GraphBuilder, PoolingShapes) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {8, 112, 112, 64});
+  NodeId p = b.max_pool("pool", x, 3, 2);
+  EXPECT_EQ(b.graph().node(p).output.shape, TensorShape({8, 56, 56, 64}));
+  NodeId gap = b.global_avg_pool("gap", p);
+  EXPECT_EQ(b.graph().node(gap).output.shape, TensorShape({8, 64}));
+}
+
+TEST(GraphBuilder, ConcatSumsAxis) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {4, 8});
+  NodeId y = b.placeholder("y", {4, 8});
+  NodeId c = b.concat("cat", {x, y}, 1);
+  EXPECT_EQ(b.graph().node(c).output.shape, TensorShape({4, 16}));
+}
+
+TEST(GraphBuilder, CrossEntropyIsScalar) {
+  GraphBuilder b("g");
+  NodeId logits = b.placeholder("logits", {16, 1000});
+  NodeId labels = b.placeholder("labels", {16, 1000});
+  NodeId loss = b.cross_entropy("loss", logits, labels);
+  EXPECT_EQ(b.graph().node(loss).output.shape.rank(), 0);
+}
+
+TEST(GraphBuilder, TrainingAuxiliariesAddedAndTyped) {
+  GraphBuilder b("g");
+  NodeId x = b.placeholder("x", {4, 8});
+  b.matmul("dense", x, 16);
+  b.add_training_auxiliaries();
+  Graph g = b.take();
+  EXPECT_TRUE(g.contains("dense/init"));
+  EXPECT_TRUE(g.contains("dense/assign"));
+  EXPECT_TRUE(g.contains("save/checkpoint"));
+  EXPECT_TRUE(g.contains("train/global_step"));
+  EXPECT_EQ(g.node(g.find("dense/init")).kind, OpKind::kVariableInit);
+  // Aux nodes do not change trainable parameter counts.
+  EXPECT_EQ(g.total_params(), 8 * 16);
+}
+
+TEST(GraphBuilder, TakeValidates) {
+  GraphBuilder b("g");
+  b.placeholder("x", {4, 8});
+  Graph g = b.take();
+  EXPECT_EQ(g.name(), "g");
+}
+
+}  // namespace
+}  // namespace tap

@@ -1,0 +1,75 @@
+// Heterogeneous clusters: synchronous training paces to the slowest node
+// (the hardware imbalance Whale's load-balancing targets, §2.3.1).
+#include <gtest/gtest.h>
+
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "sim/simulator.h"
+
+namespace tap::cost {
+namespace {
+
+TEST(Heterogeneous, SlowestNodeSpeed) {
+  ClusterSpec c;
+  EXPECT_DOUBLE_EQ(c.slowest_node_speed(), 1.0);  // homogeneous default
+  c.node_speeds = {1.0, 0.5, 0.8};
+  EXPECT_DOUBLE_EQ(c.slowest_node_speed(), 0.5);
+  EXPECT_DOUBLE_EQ(c.effective_flops(), 0.5 * c.flops_per_gpu);
+}
+
+TEST(Heterogeneous, StragglerStretchesComputeNotComm) {
+  Graph g = models::build_transformer(models::t5_with_layers(2));
+  ir::TapGraph tg = ir::lower(g);
+  auto routed = sharding::route_plan(tg, sharding::default_plan(tg, 16));
+
+  ClusterSpec fair = ClusterSpec::v100_cluster(2);
+  ClusterSpec slow = fair;
+  slow.node_speeds = {1.0, 0.5};  // one node at half speed
+
+  auto b_fair = sim::simulate_step(tg, routed, 16, fair);
+  auto b_slow = sim::simulate_step(tg, routed, 16, slow);
+  // FLOP-bound ops double; memory-bound ops and launch overheads do not,
+  // so the blend lands between 1.5x and 2x.
+  const double ratio = b_slow.compute_s() / b_fair.compute_s();
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LE(ratio, 2.0 + 1e-9);
+  EXPECT_NEAR(b_slow.comm_s, b_fair.comm_s, b_fair.comm_s * 1e-9);
+  EXPECT_GT(b_slow.iteration_s, b_fair.iteration_s);
+}
+
+TEST(Heterogeneous, StragglerImprovesGradientOverlap) {
+  // Slower compute widens the backward window, hiding more of the
+  // gradient AllReduce — exposed comm must not increase.
+  Graph g = models::build_transformer(models::t5_with_layers(2));
+  ir::TapGraph tg = ir::lower(g);
+  auto routed = sharding::route_plan(tg, sharding::default_plan(tg, 16));
+  ClusterSpec fair = ClusterSpec::v100_cluster(2);
+  ClusterSpec slow = fair;
+  slow.node_speeds = {1.0, 0.25};
+  auto b_fair = sim::simulate_step(tg, routed, 16, fair);
+  auto b_slow = sim::simulate_step(tg, routed, 16, slow);
+  EXPECT_LE(b_slow.exposed_comm_s, b_fair.exposed_comm_s * 1.001);
+}
+
+TEST(Heterogeneous, PlannerShiftsWithStraggler) {
+  // The cost model sees the wider overlap window too: the search still
+  // returns a valid plan and its cost never exceeds the homogeneous one
+  // for communication (compute is not part of TAP's objective).
+  Graph g = models::build_transformer(models::t5_with_layers(2));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts;
+  opts.cluster = ClusterSpec::v100_cluster(2);
+  opts.num_shards = 8;
+  opts.dp_replicas = 2;
+  auto fair = core::auto_parallel(tg, opts);
+  opts.cluster.node_speeds = {1.0, 0.5};
+  auto slow = core::auto_parallel(tg, opts);
+  EXPECT_TRUE(fair.routed.valid);
+  EXPECT_TRUE(slow.routed.valid);
+  // Wider overlap window -> equal or cheaper communication objective.
+  EXPECT_LE(slow.cost.total(), fair.cost.total() * 1.001);
+}
+
+}  // namespace
+}  // namespace tap::cost

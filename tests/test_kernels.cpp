@@ -1,0 +1,205 @@
+#include "runtime/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tap::runtime {
+namespace {
+
+Tensor make(TensorShape s, std::vector<float> v) {
+  Tensor t(std::move(s));
+  TAP_CHECK_EQ(static_cast<std::size_t>(t.num_elements()), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    t[static_cast<std::int64_t>(i)] = v[i];
+  return t;
+}
+
+TEST(TensorOps, SliceConcatRoundTrip) {
+  util::Rng rng(7);
+  Tensor t = Tensor::random(TensorShape{4, 6}, rng);
+  for (int axis : {0, 1}) {
+    std::vector<Tensor> parts;
+    for (int d = 0; d < 2; ++d) parts.push_back(t.slice(axis, d, 2));
+    Tensor back = Tensor::concat(parts, axis);
+    EXPECT_TRUE(Tensor::allclose(t, back, 0.0f)) << "axis " << axis;
+  }
+}
+
+TEST(TensorOps, SliceNegativeAxis) {
+  Tensor t = make({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor right = t.slice(-1, 1, 2);
+  EXPECT_EQ(right.shape(), TensorShape({2, 2}));
+  EXPECT_EQ(right[0], 3);
+  EXPECT_EQ(right[1], 4);
+  EXPECT_EQ(right[2], 7);
+  EXPECT_EQ(right[3], 8);
+}
+
+TEST(TensorOps, SumAccumulates) {
+  Tensor a = make({2}, {1, 2});
+  Tensor b = make({2}, {10, 20});
+  Tensor s = Tensor::sum({a, b});
+  EXPECT_EQ(s[0], 11);
+  EXPECT_EQ(s[1], 22);
+}
+
+TEST(TensorOps, MaxAbsDiff) {
+  Tensor a = make({2}, {1, 2});
+  Tensor b = make({2}, {1, 2.5});
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 0.5f);
+  EXPECT_FALSE(Tensor::allclose(a, b, 0.4f));
+  EXPECT_TRUE(Tensor::allclose(a, b, 0.6f));
+}
+
+TEST(Kernels, MatMulKnownValues) {
+  Tensor x = make({1, 2}, {1, 2});
+  Tensor w = make({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = matmul(x, w);
+  EXPECT_EQ(y.shape(), TensorShape({1, 3}));
+  EXPECT_FLOAT_EQ(y[0], 9);
+  EXPECT_FLOAT_EQ(y[1], 12);
+  EXPECT_FLOAT_EQ(y[2], 15);
+}
+
+TEST(Kernels, MatMulBatchedLeadingDims) {
+  util::Rng rng(3);
+  Tensor x = Tensor::random(TensorShape{2, 3, 4}, rng);
+  Tensor w = Tensor::random(TensorShape{4, 5}, rng);
+  Tensor y = matmul(x, w);
+  EXPECT_EQ(y.shape(), TensorShape({2, 3, 5}));
+}
+
+TEST(Kernels, BatchMatMulMatchesManual) {
+  Tensor a = make({1, 2, 2}, {1, 0, 0, 1});  // identity
+  Tensor b = make({1, 2, 2}, {5, 6, 7, 8});
+  Tensor y = batch_matmul(a, b);
+  EXPECT_TRUE(Tensor::allclose(y, b, 0.0f));
+}
+
+TEST(Kernels, SoftmaxRowsSumToOne) {
+  util::Rng rng(9);
+  Tensor x = Tensor::random(TensorShape{3, 5}, rng, 2.0f);
+  Tensor y = softmax(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 5; ++c) sum += y[r * 5 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Kernels, LayerNormZeroMeanUnitVar) {
+  util::Rng rng(11);
+  Tensor x = Tensor::random(TensorShape{4, 8}, rng, 3.0f);
+  Tensor w = Tensor::zeros(TensorShape{2, 8});
+  for (int i = 0; i < 8; ++i) w[i] = 1.0f;  // gain 1, bias 0
+  Tensor y = layer_norm(x, w);
+  for (int r = 0; r < 4; ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mean += y[r * 8 + c];
+    mean /= 8;
+    for (int c = 0; c < 8; ++c)
+      var += (y[r * 8 + c] - mean) * (y[r * 8 + c] - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(Kernels, EmbeddingLookupAndOffset) {
+  Tensor ids = make({3}, {0, 2, 1});
+  Tensor w = make({3, 2}, {10, 11, 20, 21, 30, 31});
+  Tensor y = embedding(ids, w);
+  EXPECT_FLOAT_EQ(y[0], 10);
+  EXPECT_FLOAT_EQ(y[2], 30);
+  EXPECT_FLOAT_EQ(y[4], 20);
+  // Offset lookup: only ids in [1, 4) resolve against this shard.
+  Tensor shard = make({2, 2}, {20, 21, 30, 31});  // rows 1..2
+  Tensor ys = embedding(ids, shard, 1);
+  EXPECT_FLOAT_EQ(ys[0], 0);   // id 0 not on this shard
+  EXPECT_FLOAT_EQ(ys[2], 30);  // id 2 -> local row 1
+  EXPECT_FLOAT_EQ(ys[4], 20);  // id 1 -> local row 0
+}
+
+TEST(Kernels, Conv2dIdentityKernel) {
+  util::Rng rng(5);
+  Tensor x = Tensor::random(TensorShape{1, 4, 4, 2}, rng);
+  // 1x1 kernel mapping channels identically.
+  Tensor w = Tensor::zeros(TensorShape{1, 1, 2, 2});
+  w[0] = 1.0f;  // [0,0,0,0]
+  w[3] = 1.0f;  // [0,0,1,1]
+  Tensor y = conv2d(x, w, 1);
+  EXPECT_TRUE(Tensor::allclose(y, x, 1e-6f));
+}
+
+TEST(Kernels, Conv2dStrideHalvesSpatial) {
+  util::Rng rng(6);
+  Tensor x = Tensor::random(TensorShape{1, 4, 4, 1}, rng);
+  Tensor w = Tensor::random(TensorShape{3, 3, 1, 2}, rng);
+  Tensor y = conv2d(x, w, 2);
+  EXPECT_EQ(y.shape(), TensorShape({1, 2, 2, 2}));
+}
+
+TEST(Kernels, TransposeRoundTrip) {
+  util::Rng rng(8);
+  Tensor x = Tensor::random(TensorShape{2, 3, 4}, rng);
+  Tensor t = transpose(x, {2, 0, 1});
+  EXPECT_EQ(t.shape(), TensorShape({4, 2, 3}));
+  Tensor back = transpose(t, {1, 2, 0});
+  EXPECT_TRUE(Tensor::allclose(x, back, 0.0f));
+}
+
+TEST(Kernels, GlobalAvgPool) {
+  Tensor x = make({1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor y = global_avg_pool(x);
+  EXPECT_EQ(y.shape(), TensorShape({1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Kernels, MaxPoolPicksMax) {
+  Tensor x = make({1, 2, 2, 1}, {1, 9, 3, 4});
+  Tensor y = max_pool(x, 2, 2);
+  EXPECT_EQ(y.shape(), TensorShape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 9.0f);
+}
+
+TEST(Kernels, CrossEntropyNonNegativeScalar) {
+  util::Rng rng(10);
+  Tensor logits = Tensor::random(TensorShape{4, 6}, rng, 2.0f);
+  Tensor labels = softmax(Tensor::random(TensorShape{4, 6}, rng, 1.0f));
+  Tensor loss = cross_entropy(logits, labels);
+  EXPECT_EQ(loss.shape().rank(), 0);
+  EXPECT_GT(loss[0], 0.0f);
+}
+
+TEST(Kernels, ReduceMeanAxis1) {
+  Tensor x = make({1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = reduce_mean(x, TensorShape{1, 2});
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+}
+
+TEST(Kernels, GeluBounds) {
+  Tensor x = make({3}, {-10, 0, 10});
+  Tensor y = unary_elementwise(OpKind::kGelu, x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 10.0f, 1e-3f);
+}
+
+TEST(Kernels, ExpertMatMulPerExpert) {
+  util::Rng rng(12);
+  Tensor x = Tensor::random(TensorShape{2, 3, 4}, rng);
+  Tensor w = Tensor::random(TensorShape{2, 4, 5}, rng);
+  Tensor y = expert_matmul(x, w);
+  EXPECT_EQ(y.shape(), TensorShape({2, 3, 5}));
+  // Expert 0's output only depends on expert 0's slice.
+  Tensor y0 = matmul(x.slice(0, 0, 2),
+                     w.slice(0, 0, 2).reshaped(TensorShape{4, 5}));
+  EXPECT_TRUE(Tensor::allclose(y.slice(0, 0, 2), y0, 1e-6f));
+}
+
+}  // namespace
+}  // namespace tap::runtime

@@ -1,0 +1,144 @@
+#include "ir/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+#include "util/strings.h"
+
+namespace tap::ir {
+namespace {
+
+TEST(Lowering, TrimsAuxiliaries) {
+  Graph g = models::build_transformer(models::t5_with_layers(2));
+  LoweringStats stats;
+  TapGraph tg = lower(g, {}, &stats);
+  EXPECT_EQ(stats.original_nodes, g.num_nodes());
+  EXPECT_GT(stats.trimmed_aux, 0u);
+  for (const auto& n : tg.nodes()) {
+    for (NodeId op : n.ops) {
+      EXPECT_FALSE(is_aux(g.node(op).kind)) << g.node(op).name;
+    }
+  }
+}
+
+TEST(Lowering, ShrinksNodeCountSubstantially) {
+  Graph g = models::build_transformer(models::t5_large());
+  LoweringStats stats;
+  TapGraph tg = lower(g, {}, &stats);
+  // §4.2: T5-large shrinks from tens of thousands of ops to ~1k weight
+  // variables. Our builder is coarser than TF but the ratio must be large.
+  EXPECT_LT(tg.num_nodes() * 2, g.num_nodes());
+  EXPECT_GT(stats.weight_variables, 100u);
+  EXPECT_LT(stats.weight_variables, 2000u);
+}
+
+TEST(Lowering, ResultIsDagCoveringAllComputeOps) {
+  Graph g = models::build_resnet(models::resnet50(1000));
+  TapGraph tg = lower(g);
+  EXPECT_NO_THROW(tg.topo_order());
+  std::size_t covered = 0;
+  for (const auto& n : tg.nodes()) covered += n.ops.size();
+  std::size_t compute = 0;
+  for (const Node& n : g.nodes())
+    if (!is_aux(n.kind)) ++compute;
+  EXPECT_EQ(covered, compute);
+}
+
+TEST(Lowering, WeightedClustersCarryParams) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  TapGraph tg = lower(g);
+  GraphNodeId q = tg.find("t5_1l/encoder/block_0/mha/q");
+  ASSERT_NE(q, kInvalidGraphNode);
+  const GraphNode& n = tg.node(q);
+  EXPECT_TRUE(n.has_weight());
+  EXPECT_EQ(n.params, 1024 * 1024);
+  EXPECT_EQ(n.primary_kind, OpKind::kMatMul);
+}
+
+TEST(Lowering, TotalParamsPreserved) {
+  Graph g = models::build_transformer(models::t5_with_layers(2));
+  TapGraph tg = lower(g);
+  std::int64_t total = 0;
+  for (const auto& n : tg.nodes()) total += n.params;
+  EXPECT_EQ(total, g.total_params());
+}
+
+TEST(Lowering, OpLevelModeKeepsEveryOp) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  LoweringOptions opts;
+  opts.cluster_by_scope = false;
+  LoweringStats stats;
+  TapGraph tg = lower(g, opts, &stats);
+  std::size_t compute = 0;
+  for (const Node& n : g.nodes())
+    if (!is_aux(n.kind)) ++compute;
+  EXPECT_EQ(tg.num_nodes(), compute);
+}
+
+TEST(Lowering, FingerprintsMatchAcrossIdenticalBlocks) {
+  Graph g = models::build_transformer(models::t5_with_layers(3));
+  TapGraph tg = lower(g);
+  GraphNodeId q0 = tg.find("t5_3l/encoder/block_0/mha/q");
+  GraphNodeId q1 = tg.find("t5_3l/encoder/block_1/mha/q");
+  GraphNodeId wi0 = tg.find("t5_3l/encoder/block_0/ffn/wi");
+  ASSERT_NE(q0, kInvalidGraphNode);
+  ASSERT_NE(q1, kInvalidGraphNode);
+  ASSERT_NE(wi0, kInvalidGraphNode);
+  EXPECT_EQ(tg.node(q0).fingerprint, tg.node(q1).fingerprint);
+  EXPECT_NE(tg.node(q0).fingerprint, tg.node(wi0).fingerprint);
+}
+
+TEST(Lowering, FingerprintIgnoresAbsoluteScope) {
+  // The same op nested at different depths fingerprints identically when
+  // hashed relative to its own scope.
+  GraphBuilder b1("a");
+  NodeId x1 = b1.placeholder("deep/scope/x", {4, 8});
+  NodeId m1 = b1.matmul("deep/scope/dense/proj", x1, 16);
+  GraphBuilder b2("b");
+  NodeId x2 = b2.placeholder("other/x", {4, 8});
+  NodeId m2 = b2.matmul("other/dense/proj", x2, 16);
+  std::uint64_t f1 = op_fingerprint(b1.graph().node(m1), "deep/scope/dense");
+  std::uint64_t f2 = op_fingerprint(b2.graph().node(m2), "other/dense");
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(Lowering, EdgesFollowProducerConsumer) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  TapGraph tg = lower(g);
+  GraphNodeId q = tg.find("t5_1l/encoder/block_0/mha/q");
+  ASSERT_NE(q, kInvalidGraphNode);
+  EXPECT_FALSE(tg.node(q).inputs.empty());
+  EXPECT_FALSE(tg.consumers(q).empty());
+}
+
+TEST(Lowering, MoeLayerIsOneCluster) {
+  // The router/dispatch/expert-bank/combine chain cycles through the "moe"
+  // scope, so SCC condensation folds the whole MoE layer into a single
+  // GraphNode — exactly the "MoE layer" shared-subgraph granularity of
+  // Table 1.
+  models::MoeConfig cfg = models::widenet();
+  cfg.num_layers = 1;
+  cfg.moe_every = 1;
+  Graph g = models::build_moe_transformer(cfg);
+  TapGraph tg = lower(g);
+  GraphNodeId moe = tg.find("widenet/encoder/block_0/moe");
+  ASSERT_NE(moe, kInvalidGraphNode);
+  const GraphNode& n = tg.node(moe);
+  // ln + router + expert wi + expert wo weights all live in the cluster.
+  EXPECT_GE(n.weight_ops.size(), 4u);
+  EXPECT_EQ(n.primary_kind, OpKind::kMatMul);  // expert bank dominates
+  const Node& biggest = g.node(n.weight_ops.front());
+  (void)biggest;
+  EXPECT_GT(n.params, cfg.num_experts * cfg.d_model * cfg.d_ff);
+}
+
+TEST(TapGraph, RootsLeavesAndStringification) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  TapGraph tg = lower(g);
+  EXPECT_FALSE(tg.roots().empty());
+  EXPECT_FALSE(tg.leaves().empty());
+  EXPECT_NE(tg.to_string().find("GraphNodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tap::ir

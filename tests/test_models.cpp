@@ -1,0 +1,211 @@
+#include "models/models.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace tap::models {
+namespace {
+
+// Parameter counts should land near the published sizes; the builders are
+// shape-faithful reconstructions, so allow a ±2.5x band (Table 1 counts
+// sometimes exclude embeddings or use parameter sharing we do not model —
+// deviations are documented in EXPERIMENTS.md).
+void expect_params_near(const Graph& g, std::int64_t expected, double band) {
+  double actual = static_cast<double>(g.total_params());
+  EXPECT_GE(actual, static_cast<double>(expected) / band)
+      << g.name() << " too small: " << actual;
+  EXPECT_LE(actual, static_cast<double>(expected) * band)
+      << g.name() << " too large: " << actual;
+}
+
+TEST(Transformer, T5LargeParamCount) {
+  Graph g = build_transformer(t5_large());
+  expect_params_near(g, 770'000'000, 1.5);
+  g.validate();
+}
+
+TEST(Transformer, T5DepthScalesParamsLinearly) {
+  auto p12 = build_transformer(t5_with_layers(12)).total_params();
+  auto p24 = build_transformer(t5_with_layers(24)).total_params();
+  auto p48 = build_transformer(t5_with_layers(48)).total_params();
+  EXPECT_GT(p24, p12);
+  EXPECT_GT(p48, p24);
+  // Per-layer params are constant, so the increments must match exactly.
+  EXPECT_EQ(p48 - p24, 2 * (p24 - p12));
+}
+
+TEST(Transformer, BertLargeParamCount) {
+  Graph g = build_transformer(bert_large());
+  expect_params_near(g, 340'000'000, 1.5);
+}
+
+TEST(Transformer, Gpt3ParamCount) {
+  Graph g = build_transformer(gpt3());
+  expect_params_near(g, 175'000'000'000, 1.5);
+}
+
+TEST(Transformer, VitHugeParamCount) {
+  Graph g = build_transformer(vit_huge());
+  expect_params_near(g, 632'000'000, 1.5);
+}
+
+TEST(Transformer, EncoderDecoderHasCrossAttention) {
+  Graph g = build_transformer(t5_with_layers(2));
+  EXPECT_TRUE(g.contains("t5_2l/decoder/block_0/cross/ln"));
+  EXPECT_TRUE(g.contains("t5_2l/encoder/block_1/mha/q/proj"));
+  EXPECT_FALSE(g.contains("t5_2l/encoder/block_0/cross/ln"));
+}
+
+TEST(Transformer, EncoderOnlyHasNoDecoder) {
+  Graph g = build_transformer(bert_large());
+  for (const Node& n : g.nodes()) {
+    EXPECT_FALSE(util::starts_with(n.name, "bert_large/decoder"))
+        << n.name;
+  }
+}
+
+TEST(Transformer, BlockNamesShareScopeStructure) {
+  Graph g = build_transformer(t5_with_layers(4));
+  // Every encoder block exposes the same six weighted projections.
+  for (int blk = 0; blk < 4; ++blk) {
+    std::string base = "t5_4l/encoder/block_" + std::to_string(blk);
+    for (const char* leaf :
+         {"/mha/q/proj", "/mha/k/proj", "/mha/v/proj", "/mha/o/proj",
+          "/ffn/wi/proj", "/ffn/wo/proj"}) {
+      EXPECT_TRUE(g.contains(base + leaf)) << base + leaf;
+    }
+  }
+}
+
+TEST(Transformer, AuxiliariesPresentAndOptional) {
+  Graph with = build_transformer(t5_with_layers(1));
+  EXPECT_TRUE(with.contains("save/checkpoint"));
+  TransformerConfig cfg = t5_with_layers(1);
+  cfg.with_auxiliaries = false;
+  Graph without = build_transformer(cfg);
+  EXPECT_FALSE(without.contains("save/checkpoint"));
+  // Aux ops never change parameter counts.
+  EXPECT_EQ(with.total_params(), without.total_params());
+}
+
+TEST(ResNet, ParamCountAt1KClasses) {
+  Graph g = build_resnet(resnet50(1000));
+  expect_params_near(g, 25'500'000, 1.3);
+}
+
+TEST(ResNet, WideClassifierDominatesParams) {
+  // Fig. 3a: the 100K-class FC layer (~205M) dwarfs the ~24M extractor.
+  Graph narrow = build_resnet(resnet50(1000));
+  Graph wide = build_resnet(resnet50(100'000));
+  std::int64_t fc = 2048 * 100'000;
+  EXPECT_NEAR(static_cast<double>(wide.total_params() - narrow.total_params()),
+              static_cast<double>(fc - 2048 * 1000), 1e6);
+  EXPECT_GT(wide.total_params(), 4 * narrow.total_params());
+}
+
+TEST(ResNet, StageBlockCounts) {
+  Graph g = build_resnet(resnet152(1024));
+  EXPECT_TRUE(g.contains("resnet152/stage_3/block_35/conv_3/conv"));
+  EXPECT_FALSE(g.contains("resnet152/stage_3/block_36/conv_3/conv"));
+  EXPECT_TRUE(g.contains("resnet152/stage_2/block_7/conv_1/conv"));
+}
+
+TEST(ResNet, SpatialShapesShrinkAcrossStages) {
+  Graph g = build_resnet(resnet50(1000));
+  NodeId last = g.find("resnet50/stage_4/block_2/out");
+  ASSERT_NE(last, kInvalidNode);
+  EXPECT_EQ(g.node(last).output.shape, TensorShape({1024, 7, 7, 2048}));
+}
+
+TEST(Moe, SwitchParamCount) {
+  Graph g = build_moe_transformer(switch_transformer());
+  expect_params_near(g, 1'571'000'000'000, 1.5);
+}
+
+TEST(Moe, M6ParamCounts) {
+  expect_params_near(build_moe_transformer(m6_100b()), 100'000'000'000, 1.6);
+  expect_params_near(build_moe_transformer(m6_1t()), 1'000'000'000'000, 1.6);
+}
+
+TEST(Moe, ExpertBankIs3DWeight) {
+  MoeConfig cfg = widenet();
+  cfg.num_layers = 2;
+  cfg.moe_every = 1;
+  Graph g = build_moe_transformer(cfg);
+  NodeId wi = g.find("widenet/encoder/block_0/moe/experts/wi");
+  ASSERT_NE(wi, kInvalidNode);
+  const Node& n = g.node(wi);
+  ASSERT_TRUE(n.has_weight());
+  EXPECT_EQ(n.weight->shape.rank(), 3);
+  EXPECT_EQ(n.weight->shape.dim(0), cfg.num_experts);
+  EXPECT_EQ(n.attr_or("experts", 0), cfg.num_experts);
+}
+
+TEST(Moe, DispatchCapacityScalesWithTokens) {
+  MoeConfig cfg = widenet();
+  cfg.num_layers = 1;
+  cfg.moe_every = 1;
+  Graph g = build_moe_transformer(cfg);
+  NodeId d = g.find("widenet/encoder/block_0/moe/dispatch");
+  ASSERT_NE(d, kInvalidNode);
+  std::int64_t cap = g.node(d).attr_or("capacity", 0);
+  std::int64_t tokens = cfg.batch * cfg.seq_len;
+  EXPECT_EQ(cap, static_cast<std::int64_t>(tokens * cfg.capacity_factor /
+                                           cfg.num_experts));
+}
+
+TEST(Clip, TwoTowersAndContrastiveHead) {
+  ClipConfig cfg = clip_base();
+  cfg.vision_layers = 2;
+  cfg.text_layers = 2;
+  Graph g = build_clip(cfg);
+  EXPECT_TRUE(g.contains("clip_base/vision/patchify/conv"));
+  EXPECT_TRUE(g.contains("clip_base/text/embed/tokens"));
+  NodeId sim = g.find("clip_base/head/similarity");
+  ASSERT_NE(sim, kInvalidNode);
+  EXPECT_EQ(g.node(sim).output.shape, TensorShape({cfg.batch, cfg.batch}));
+}
+
+TEST(Clip, BaseParamCountWithinBand) {
+  Graph g = build_clip(clip_base());
+  // Paper reports 63M (text tower); both towers together are ~100M.
+  expect_params_near(g, 63'000'000, 2.5);
+}
+
+TEST(Wav2Vec, ConvStackReducesTime) {
+  Wav2VecConfig cfg = wav2vec2_large();
+  cfg.transformer_layers = 1;
+  Graph g = build_wav2vec(cfg);
+  NodeId tok = g.find("wav2vec2/to_tokens");
+  ASSERT_NE(tok, kInvalidNode);
+  // 16384 samples / (5*2*2*2*2*2*2 = 320) ~= 52 frames after SAME padding.
+  std::int64_t frames = g.node(tok).output.shape.dim(1);
+  EXPECT_GE(frames, 48);
+  EXPECT_LE(frames, 60);
+}
+
+TEST(Wav2Vec, ParamCount) {
+  Graph g = build_wav2vec(wav2vec2_large());
+  expect_params_near(g, 317'000'000, 1.5);
+}
+
+TEST(Zoo, HasAllTenTable1Rows) {
+  auto zoo = table1_zoo();
+  ASSERT_EQ(zoo.size(), 10u);
+  EXPECT_EQ(zoo[0].model, "ResNet50");
+  EXPECT_EQ(zoo[9].model, "Switch Transformer");
+}
+
+TEST(Zoo, AllEntriesBuildValidGraphs) {
+  for (const auto& entry : table1_zoo()) {
+    SCOPED_TRACE(entry.model);
+    Graph g = entry.build();
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_GT(g.total_params(), 0);
+    expect_params_near(g, entry.paper_params, 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace tap::models

@@ -1,0 +1,91 @@
+#include "pruning/name_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/lowering.h"
+#include "models/models.h"
+
+namespace tap::pruning {
+namespace {
+
+ir::TapGraph lower_t5(int layers) {
+  static std::vector<std::unique_ptr<Graph>> keep;
+  keep.push_back(std::make_unique<Graph>(
+      models::build_transformer(models::t5_with_layers(layers))));
+  return ir::lower(*keep.back());
+}
+
+TEST(NameTree, RootCoversEverything) {
+  ir::TapGraph tg = lower_t5(2);
+  NameTree tree(tg);
+  EXPECT_EQ(tree.root().subtree_size, tg.num_nodes());
+  EXPECT_GE(tree.max_depth(), 4u);
+}
+
+TEST(NameTree, LevelsMatchScopeStructure) {
+  ir::TapGraph tg = lower_t5(3);
+  NameTree tree(tg);
+  // Depth 1: the model root scope.
+  auto l1 = tree.level(1);
+  ASSERT_EQ(l1.size(), 1u);
+  EXPECT_EQ(l1[0]->prefix, "t5_3l");
+  // Depth 2 contains encoder/decoder/head/inputs.
+  auto l2 = tree.level(2);
+  bool enc = false, dec = false;
+  for (const auto* n : l2) {
+    enc |= n->prefix == "t5_3l/encoder";
+    dec |= n->prefix == "t5_3l/decoder";
+  }
+  EXPECT_TRUE(enc);
+  EXPECT_TRUE(dec);
+}
+
+TEST(NameTree, BlockSubtreesAreUniform) {
+  ir::TapGraph tg = lower_t5(4);
+  NameTree tree(tg);
+  std::size_t block_size = 0;
+  int blocks = 0;
+  for (const auto* n : tree.level(3)) {
+    if (n->prefix.find("encoder/block_") == std::string::npos) continue;
+    ++blocks;
+    if (block_size == 0) block_size = n->subtree_size;
+    EXPECT_EQ(n->subtree_size, block_size) << n->prefix;
+  }
+  EXPECT_EQ(blocks, 4);
+  EXPECT_GT(block_size, 5u);
+}
+
+TEST(NameTree, GraphNodesAttachAtExactPrefixes) {
+  ir::TapGraph tg = lower_t5(1);
+  NameTree tree(tg);
+  std::size_t attached = 0;
+  std::vector<const NameTree::TreeNode*> stack = {&tree.root()};
+  while (!stack.empty()) {
+    const auto* n = stack.back();
+    stack.pop_back();
+    attached += n->graph_nodes.size();
+    for (const auto& [name, child] : n->children)
+      stack.push_back(child.get());
+  }
+  EXPECT_EQ(attached, tg.num_nodes());
+}
+
+TEST(NameTree, ToStringShowsHierarchy) {
+  ir::TapGraph tg = lower_t5(1);
+  NameTree tree(tg);
+  std::string s = tree.to_string(30);
+  EXPECT_NE(s.find("t5_1l"), std::string::npos);
+  EXPECT_NE(s.find("encoder"), std::string::npos);
+  EXPECT_NE(s.find("("), std::string::npos);
+}
+
+TEST(NameTree, EmptyGraph) {
+  ir::TapGraph tg;
+  NameTree tree(tg);
+  EXPECT_EQ(tree.root().subtree_size, 0u);
+  EXPECT_EQ(tree.max_depth(), 0u);
+  EXPECT_TRUE(tree.level(1).empty());
+}
+
+}  // namespace
+}  // namespace tap::pruning

@@ -1,0 +1,134 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/dot_export.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace tap::core {
+namespace {
+
+struct Fixture {
+  Graph g;
+  ir::TapGraph tg;
+  explicit Fixture(int layers)
+      : g(models::build_transformer(models::t5_with_layers(layers))),
+        tg(ir::lower(g)) {}
+};
+
+TEST(Pipeline, PartitionsCoverTheGraphContiguously) {
+  Fixture f(8);
+  TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 16;
+  PipelineOptions p;
+  p.stages = 4;
+  auto r = auto_parallel_pipelined(f.tg, opts, p);
+  ASSERT_EQ(r.cuts.size(), 5u);
+  EXPECT_EQ(r.cuts.front(), 0u);
+  EXPECT_EQ(r.cuts.back(), f.tg.num_nodes());
+  for (std::size_t i = 1; i < r.cuts.size(); ++i)
+    EXPECT_LE(r.cuts[i - 1], r.cuts[i]);
+}
+
+TEST(Pipeline, BalanceNearPerfectOnUniformStacks) {
+  // A deep homogeneous transformer should balance close to 1/stages.
+  Fixture f(16);
+  TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 16;
+  PipelineOptions p;
+  p.stages = 4;
+  auto r = auto_parallel_pipelined(f.tg, opts, p);
+  EXPECT_LT(r.bottleneck_fraction, 0.40);   // perfect = 0.25
+  EXPECT_GE(r.bottleneck_fraction, 0.25 - 1e-9);
+}
+
+TEST(Pipeline, BubbleFractionMatchesFormula) {
+  Fixture f(4);
+  TapOptions opts;
+  opts.num_shards = 8;
+  PipelineOptions p;
+  p.stages = 4;
+  p.microbatches = 8;
+  auto r = auto_parallel_pipelined(f.tg, opts, p);
+  EXPECT_DOUBLE_EQ(r.bubble_fraction, 3.0 / 8.0);
+}
+
+TEST(Pipeline, InnerPlanUsesPerStageGroup) {
+  Fixture f(4);
+  TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 16;
+  PipelineOptions p;
+  p.stages = 2;
+  auto r = auto_parallel_pipelined(f.tg, opts, p);
+  EXPECT_TRUE(r.inner.routed.valid);
+  EXPECT_EQ(r.inner.best_plan.num_shards, 8);
+}
+
+TEST(Pipeline, BoundaryBytesAreActivationSized) {
+  Fixture f(8);
+  TapOptions opts;
+  opts.num_shards = 8;
+  PipelineOptions p;
+  p.stages = 2;
+  auto r = auto_parallel_pipelined(f.tg, opts, p);
+  ASSERT_EQ(r.boundary_bytes.size(), 1u);
+  // At least one residual-stream tensor crosses (16x512x1024 fp32 = 33 MB).
+  EXPECT_GE(r.boundary_bytes[0], 32ll << 20);
+  // ...and not the whole model.
+  EXPECT_LT(r.boundary_bytes[0], 1ll << 30);
+}
+
+TEST(Pipeline, EstimateScalesDownWithStages) {
+  Fixture f(8);
+  TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 16;
+
+  PipelineOptions p1;
+  p1.stages = 1;
+  auto r1 = auto_parallel_pipelined(f.tg, opts, p1);
+  PipelineOptions p4;
+  p4.stages = 4;
+  auto r4 = auto_parallel_pipelined(f.tg, opts, p4);
+
+  const double whole = 1.0;  // normalized whole-model step
+  double t1 = pipeline_iteration_estimate(r1, whole);
+  double t4 = pipeline_iteration_estimate(r4, whole);
+  EXPECT_NEAR(t1, 1.0, 1e-9);  // one stage: no division, no bubble
+  EXPECT_LT(t4, 0.6);          // four stages: ~1/4 x (1 + 3/8)
+}
+
+TEST(Pipeline, RejectsBadStageCounts) {
+  Fixture f(2);
+  TapOptions opts;
+  opts.num_shards = 8;
+  PipelineOptions p;
+  p.stages = 3;  // 8 % 3 != 0
+  EXPECT_THROW(auto_parallel_pipelined(f.tg, opts, p), CheckError);
+}
+
+TEST(DotExport, FrameworkGraphStructure) {
+  Fixture f(1);
+  std::string dot = ir::to_dot(f.g, 50);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("truncated"), std::string::npos);  // > 50 nodes
+}
+
+TEST(DotExport, TapIrWithLayouts) {
+  Fixture f(1);
+  auto routed =
+      sharding::route_plan(f.tg, sharding::default_plan(f.tg, 8));
+  std::string dot = ir::to_dot(f.tg, &routed, 1000);
+  EXPECT_NE(dot.find("layout=S(0)"), std::string::npos);
+  EXPECT_EQ(dot.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tap::core

@@ -1,0 +1,111 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/expert_plans.h"
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "util/check.h"
+
+namespace tap::core {
+namespace {
+
+struct Fixture {
+  Graph g;
+  ir::TapGraph tg;
+  explicit Fixture(int layers)
+      : g(models::build_transformer(models::t5_with_layers(layers))),
+        tg(ir::lower(g)) {}
+};
+
+TEST(Serialize, RoundTripsMegatronPlan) {
+  Fixture f(2);
+  auto plan = baselines::megatron_plan(f.tg, 8);
+  plan.dp_replicas = 2;
+  std::string json = plan_to_json(f.tg, plan);
+  auto back = plan_from_json(f.tg, json);
+  EXPECT_EQ(back.num_shards, 8);
+  EXPECT_EQ(back.dp_replicas, 2);
+  EXPECT_EQ(back.choice, plan.choice);
+}
+
+TEST(Serialize, RoundTripsAcrossRelowering) {
+  // The plan must apply to a *separately built* identical model.
+  Fixture a(2);
+  auto plan = baselines::megatron_plan(a.tg, 8);
+  std::string json = plan_to_json(a.tg, plan);
+
+  Fixture b(2);
+  auto back = plan_from_json(b.tg, json);
+  auto routed = sharding::route_plan(b.tg, back);
+  EXPECT_TRUE(routed.valid) << routed.error;
+  EXPECT_EQ(back.choice, plan.choice);  // deterministic lowering
+}
+
+TEST(Serialize, RoundTripsSearchedPlan) {
+  Fixture f(2);
+  TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 8;
+  opts.dp_replicas = 2;
+  auto r = auto_parallel(f.tg, opts);
+  std::string json = plan_to_json(f.tg, r.best_plan);
+  auto back = plan_from_json(f.tg, json);
+  EXPECT_EQ(back.choice, r.best_plan.choice);
+}
+
+TEST(Serialize, JsonMentionsMeshAndPatterns) {
+  Fixture f(1);
+  auto plan = baselines::megatron_plan(f.tg, 8);
+  std::string json = plan_to_json(f.tg, plan);
+  EXPECT_NE(json.find("\"mesh\": [1, 8]"), std::string::npos);
+  EXPECT_NE(json.find("split_col"), std::string::npos);
+  EXPECT_NE(json.find("mha/q"), std::string::npos);
+}
+
+TEST(Serialize, UnknownNodeRejected) {
+  Fixture f(1);
+  std::string json =
+      "{\"mesh\": [1, 8], \"assignments\": {\"no/such/node\": \"dp\"}}";
+  EXPECT_THROW(plan_from_json(f.tg, json), CheckError);
+}
+
+TEST(Serialize, InapplicablePatternRejected) {
+  Fixture f(1);
+  // LayerNorm clusters are replicate-only: "split_col" must be refused.
+  std::string json = "{\"mesh\": [1, 8], \"assignments\": {\"" +
+                     std::string("t5_1l/encoder/block_0/mha") +
+                     "\": \"split_col\"}}";
+  EXPECT_THROW(plan_from_json(f.tg, json), CheckError);
+}
+
+TEST(Serialize, MalformedInputRejected) {
+  Fixture f(1);
+  EXPECT_THROW(plan_from_json(f.tg, "{"), CheckError);
+  EXPECT_THROW(plan_from_json(f.tg, "{\"assignments\": {}}"), CheckError);
+  EXPECT_THROW(plan_from_json(f.tg, "{\"mesh\": [1, 8]} trailing"),
+               CheckError);
+  EXPECT_THROW(plan_from_json(f.tg, "{\"mesh\": [0, 8], \"assignments\""
+                                    ": {}}"),
+               CheckError);
+}
+
+TEST(Serialize, UnlistedNodesDefaultToPatternZero) {
+  Fixture f(1);
+  std::string json = "{\"mesh\": [1, 8], \"assignments\": {}}";
+  auto plan = plan_from_json(f.tg, json);
+  for (int c : plan.choice) EXPECT_EQ(c, 0);
+  EXPECT_TRUE(sharding::route_plan(f.tg, plan).valid);
+}
+
+TEST(Serialize, WhitespaceTolerant) {
+  Fixture f(1);
+  std::string json =
+      "  {  \"mesh\"  :  [ 1 , 8 ] ,\n \"assignments\" : { } }  ";
+  auto plan = plan_from_json(f.tg, json);
+  EXPECT_EQ(plan.num_shards, 8);
+}
+
+}  // namespace
+}  // namespace tap::core

@@ -1,0 +1,225 @@
+// End-to-end SPMD execution of REWRITTEN graphs: the per-device program
+// produced by rewrite::rewrite_graph, run on D lockstep devices with real
+// collective semantics, must reproduce the serial loss of the original
+// graph for every plan family.
+#include "runtime/spmd_interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/expert_plans.h"
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "rewrite/rewrite.h"
+
+namespace tap::runtime {
+namespace {
+
+models::TransformerConfig tiny_transformer() {
+  models::TransformerConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_layers = 2;
+  cfg.encoder_decoder = false;
+  cfg.d_model = 16;
+  cfg.d_ff = 32;
+  cfg.num_heads = 2;
+  cfg.vocab = 24;
+  cfg.batch = 4;
+  cfg.seq_len = 8;
+  return cfg;
+}
+
+struct Harness {
+  Graph g;
+  ir::TapGraph tg;
+  std::unordered_map<std::string, Tensor> feeds;
+  float serial_loss = 0.0f;
+  std::string loss_name;
+
+  explicit Harness(Graph graph) : g(std::move(graph)), tg(ir::lower(g)) {
+    Executor serial(g);
+    feeds = serial.make_feeds();
+    auto out = serial.run(feeds);
+    for (const Node& n : g.nodes()) {
+      if (n.kind == OpKind::kCrossEntropy) {
+        loss_name = n.name;
+        serial_loss = out.at(n.name)[0];
+      }
+    }
+  }
+
+  /// Rewrites `plan`, interprets it on D devices, returns the combined
+  /// loss (mean over batch-sharded devices == global mean).
+  float spmd_loss(const sharding::ShardingPlan& plan, int D) {
+    auto routed = sharding::route_plan(tg, plan);
+    EXPECT_TRUE(routed.valid) << routed.error;
+    auto rw = rewrite::rewrite_graph(g, tg, routed, D, /*restore_aux=*/false);
+    SpmdInterpreter interp(rw.parallel, D);
+    auto outs = interp.run(feeds);
+    // Batch-sharded loss: each device holds an equal slice, so the global
+    // mean is the device mean. Replicated loss: all devices equal, the
+    // mean is that value.
+    return SpmdInterpreter::mean_scalar(outs, loss_name);
+  }
+};
+
+TEST(SpmdInterpreter, DataParallelMatchesSerial) {
+  Harness h(models::build_transformer(tiny_transformer()));
+  float loss = h.spmd_loss(sharding::default_plan(h.tg, 4), 4);
+  EXPECT_NEAR(loss, h.serial_loss, 2e-3f);
+}
+
+TEST(SpmdInterpreter, MegatronMatchesSerial) {
+  Harness h(models::build_transformer(tiny_transformer()));
+  auto plan = baselines::megatron_plan(h.tg, 2);
+  float loss = h.spmd_loss(plan, 2);
+  EXPECT_NEAR(loss, h.serial_loss, 2e-3f);
+}
+
+TEST(SpmdInterpreter, FfnOnlyAndMhaOnlyMatchSerial) {
+  Harness h(models::build_transformer(tiny_transformer()));
+  EXPECT_NEAR(h.spmd_loss(baselines::ffn_only_plan(h.tg, 2), 2),
+              h.serial_loss, 2e-3f);
+  EXPECT_NEAR(h.spmd_loss(baselines::mha_only_plan(h.tg, 2), 2),
+              h.serial_loss, 2e-3f);
+}
+
+TEST(SpmdInterpreter, ReplicatedDevicesAgree) {
+  // Under Megatron, the block outputs are replicated after the row-split
+  // AllReduce: every device must hold bit-identical residual streams.
+  Harness h(models::build_transformer(tiny_transformer()));
+  auto plan = baselines::megatron_plan(h.tg, 2);
+  auto routed = sharding::route_plan(h.tg, plan);
+  auto rw = rewrite::rewrite_graph(h.g, h.tg, routed, 2, false);
+  SpmdInterpreter interp(rw.parallel, 2);
+  auto outs = interp.run(h.feeds);
+  const std::string ar = "tiny/encoder/block_0/mha/o/proj/AllReduce";
+  ASSERT_TRUE(outs[0].count(ar)) << "missing " << ar;
+  EXPECT_TRUE(Tensor::allclose(outs[0].at(ar), outs[1].at(ar), 0.0f));
+}
+
+TEST(SpmdInterpreter, ShardedDevicesHoldDistinctSlices) {
+  Harness h(models::build_transformer(tiny_transformer()));
+  auto plan = baselines::megatron_plan(h.tg, 2);
+  auto routed = sharding::route_plan(h.tg, plan);
+  auto rw = rewrite::rewrite_graph(h.g, h.tg, routed, 2, false);
+  SpmdInterpreter interp(rw.parallel, 2);
+  auto outs = interp.run(h.feeds);
+  // wi is column-split: local outputs are different halves.
+  const std::string wi = "tiny/encoder/block_0/ffn/wi/proj";
+  ASSERT_TRUE(outs[0].count(wi));
+  const Tensor& a = outs[0].at(wi);
+  const Tensor& b = outs[1].at(wi);
+  EXPECT_EQ(a.shape().dim(-1), 16);  // 32 / 2
+  EXPECT_GT(Tensor::max_abs_diff(a, b), 1e-6f);
+}
+
+TEST(SpmdInterpreter, SingleDeviceIsSerial) {
+  Harness h(models::build_transformer(tiny_transformer()));
+  float loss = h.spmd_loss(sharding::default_plan(h.tg, 1), 1);
+  EXPECT_NEAR(loss, h.serial_loss, 1e-5f);
+}
+
+TEST(SpmdInterpreter, CnnPlansMatchSerial) {
+  GraphBuilder b("cnn");
+  auto root = b.scope("cnn");
+  NodeId x = b.placeholder("inputs/images", {4, 8, 8, 4});
+  {
+    auto s = b.scope("stem");
+    x = b.conv2d("conv", x, 8, 3, 1);
+    x = b.relu("relu", x);
+  }
+  {
+    auto s = b.scope("stage");
+    x = b.conv2d("conv", x, 16, 3, 2);
+    x = b.relu("relu", x);
+  }
+  {
+    auto s = b.scope("head");
+    NodeId pooled = b.global_avg_pool("gap", x);
+    NodeId logits = b.matmul("fc/proj", pooled, 8);
+    NodeId labels = b.placeholder("labels", {4, 8});
+    b.cross_entropy("loss", logits, labels);
+  }
+  Harness h(b.take());
+
+  EXPECT_NEAR(h.spmd_loss(sharding::default_plan(h.tg, 2), 2),
+              h.serial_loss, 2e-3f);
+
+  // Channel splits on the second conv.
+  for (const char* pattern : {"split_cout", "split_cin"}) {
+    auto plan = sharding::default_plan(h.tg, 2);
+    auto id = h.tg.find("cnn/stage");
+    auto pats = sharding::patterns_for(h.tg, id, 2);
+    for (std::size_t i = 0; i < pats.size(); ++i)
+      if (pats[i].name == pattern)
+        plan.choice[static_cast<std::size_t>(id)] = static_cast<int>(i);
+    EXPECT_NEAR(h.spmd_loss(plan, 2), h.serial_loss, 2e-3f) << pattern;
+  }
+}
+
+TEST(SpmdInterpreter, VocabSplitEmbeddingMatchesSerial) {
+  Harness h(models::build_transformer(tiny_transformer()));
+  auto plan = sharding::default_plan(h.tg, 2);
+  auto id = h.tg.find("tiny/encoder/embed");
+  auto pats = sharding::patterns_for(h.tg, id, 2);
+  for (std::size_t i = 0; i < pats.size(); ++i)
+    if (pats[i].name == "split_vocab")
+      plan.choice[static_cast<std::size_t>(id)] = static_cast<int>(i);
+  EXPECT_NEAR(h.spmd_loss(plan, 2), h.serial_loss, 2e-3f);
+}
+
+TEST(SpmdInterpreter, TapDiscoveredPlanMatchesSerial) {
+  // The full loop: search (Algorithms 1-3) -> rewrite (step 5) -> execute
+  // the per-device program -> identical loss.
+  Harness h(models::build_transformer(tiny_transformer()));
+  core::TapOptions opts;
+  opts.num_shards = 2;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  auto r = core::auto_parallel(h.tg, opts);
+  ASSERT_TRUE(r.routed.valid);
+  EXPECT_NEAR(h.spmd_loss(r.best_plan, 2), h.serial_loss, 2e-3f);
+}
+
+TEST(SpmdInterpreter, RandomValidPlansMatchSerial) {
+  // Property: plans the router accepts execute equivalently. Q/K/V within
+  // a block are tied to one pattern — mixing, say, a batch-split Q with a
+  // feature-split V would demand a 2D-sharded attention tensor on a 1D
+  // mesh, which neither the paper's plans nor real Megatron deployments
+  // use (the cluster-level router bridges it with conversions whose
+  // physical axes this interpreter does not model).
+  Harness h(models::build_transformer(tiny_transformer()));
+  util::Rng rng(31337);
+  int tested = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    sharding::ShardingPlan plan = sharding::default_plan(h.tg, 2);
+    for (const auto& n : h.tg.nodes()) {
+      if (!n.has_weight()) continue;
+      auto pats = sharding::patterns_for(h.tg, n.id, 2);
+      plan.choice[static_cast<std::size_t>(n.id)] =
+          static_cast<int>(rng.next_below(pats.size()));
+    }
+    for (const auto& n : h.tg.nodes()) {
+      const std::size_t kpos = n.name.rfind("/mha/k");
+      const std::size_t vpos = n.name.rfind("/mha/v");
+      if (kpos == std::string::npos && vpos == std::string::npos) continue;
+      std::string qname = n.name.substr(
+          0, kpos != std::string::npos ? kpos : vpos) + "/mha/q";
+      auto q = h.tg.find(qname);
+      if (q != ir::kInvalidGraphNode) {
+        plan.choice[static_cast<std::size_t>(n.id)] =
+            plan.choice[static_cast<std::size_t>(q)];
+      }
+    }
+    if (!sharding::route_plan(h.tg, plan).valid) continue;
+    ++tested;
+    EXPECT_NEAR(h.spmd_loss(plan, 2), h.serial_loss, 2e-3f)
+        << "trial " << trial;
+  }
+  EXPECT_GT(tested, 4);
+}
+
+}  // namespace
+}  // namespace tap::runtime

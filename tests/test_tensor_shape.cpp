@@ -1,0 +1,92 @@
+#include "graph/tensor_shape.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace tap {
+namespace {
+
+TEST(TensorShape, ScalarBasics) {
+  TensorShape s = TensorShape::scalar();
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+  EXPECT_EQ(s.to_string(), "[]");
+}
+
+TEST(TensorShape, DimsAndElements) {
+  TensorShape s{16, 512, 1024};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 16);
+  EXPECT_EQ(s.dim(2), 1024);
+  EXPECT_EQ(s.num_elements(), 16 * 512 * 1024);
+}
+
+TEST(TensorShape, NegativeIndexing) {
+  TensorShape s{2, 3, 5};
+  EXPECT_EQ(s.dim(-1), 5);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(TensorShape, OutOfRangeThrows) {
+  TensorShape s{2, 3};
+  EXPECT_THROW(s.dim(2), CheckError);
+  EXPECT_THROW(s.dim(-3), CheckError);
+}
+
+TEST(TensorShape, SetDim) {
+  TensorShape s{2, 3};
+  s.set_dim(-1, 7);
+  EXPECT_EQ(s.dim(1), 7);
+}
+
+TEST(TensorShape, Valid) {
+  EXPECT_TRUE(TensorShape({1, 2}).valid());
+  EXPECT_FALSE(TensorShape({0, 2}).valid());
+  EXPECT_FALSE(TensorShape({2, -1}).valid());
+}
+
+TEST(TensorShape, Sharded) {
+  TensorShape s{8, 1024};
+  EXPECT_EQ(s.sharded(1, 4), TensorShape({8, 256}));
+  EXPECT_EQ(s.sharded(-2, 8), TensorShape({1, 1024}));
+}
+
+TEST(TensorShape, ShardedIndivisibleThrows) {
+  TensorShape s{8, 1000};
+  EXPECT_THROW(s.sharded(1, 3), CheckError);
+}
+
+TEST(TensorShape, Divisible) {
+  TensorShape s{8, 1000};
+  EXPECT_TRUE(s.divisible(0, 8));
+  EXPECT_FALSE(s.divisible(1, 3));
+  EXPECT_TRUE(s.divisible(-1, 8));
+  EXPECT_FALSE(s.divisible(5, 2));  // bad axis -> false, not throw
+  EXPECT_FALSE(TensorShape::scalar().divisible(0, 2));
+}
+
+TEST(TensorShape, Equality) {
+  EXPECT_EQ(TensorShape({1, 2}), TensorShape({1, 2}));
+  EXPECT_NE(TensorShape({1, 2}), TensorShape({2, 1}));
+}
+
+TEST(TensorSpec, SizeBytes) {
+  TensorSpec spec{TensorShape{16, 128}, DType::kF32};
+  EXPECT_EQ(spec.size_bytes(), 16 * 128 * 4);
+  spec.dtype = DType::kF16;
+  EXPECT_EQ(spec.size_bytes(), 16 * 128 * 2);
+}
+
+TEST(DTypeSizes, AllCovered) {
+  EXPECT_EQ(dtype_size(DType::kF16), 2u);
+  EXPECT_EQ(dtype_size(DType::kBF16), 2u);
+  EXPECT_EQ(dtype_size(DType::kF32), 4u);
+  EXPECT_EQ(dtype_size(DType::kF64), 8u);
+  EXPECT_EQ(dtype_size(DType::kI32), 4u);
+  EXPECT_EQ(dtype_size(DType::kI64), 8u);
+  EXPECT_EQ(dtype_size(DType::kBool), 1u);
+}
+
+}  // namespace
+}  // namespace tap

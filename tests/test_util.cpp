@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace tap::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    EXPECT_NE(va, c.next_u64());  // astronomically unlikely to collide
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  // Every residue hit eventually (sanity, not uniformity).
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    mean += v;
+  }
+  EXPECT_NEAR(mean / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng rng(17);
+  double mean = 0.0, var = 0.0;
+  const int n = 20000;
+  std::vector<double> vals(n);
+  for (int i = 0; i < n; ++i) {
+    vals[static_cast<std::size_t>(i)] = rng.normal();
+    mean += vals[static_cast<std::size_t>(i)];
+  }
+  mean /= n;
+  for (double v : vals) var += (v - mean) * (v - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng rng(5);
+  std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Hash, StableAndSensitive) {
+  EXPECT_EQ(hash_str("abc"), hash_str("abc"));
+  EXPECT_NE(hash_str("abc"), hash_str("abd"));
+  EXPECT_NE(hash_str(""), hash_str("a"));
+  EXPECT_NE(hash_u64(1), hash_u64(2));
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(hash_str("a"), hash_str("b")),
+            hash_combine(hash_str("b"), hash_str("a")));
+}
+
+TEST(Hash, UnorderedMixIsCommutative) {
+  std::uint64_t ab =
+      hash_mix_unordered(hash_mix_unordered(kFnvOffset, hash_str("a")),
+                         hash_str("b"));
+  std::uint64_t ba =
+      hash_mix_unordered(hash_mix_unordered(kFnvOffset, hash_str("b")),
+                         hash_str("a"));
+  EXPECT_EQ(ab, ba);
+  EXPECT_NE(ab, kFnvOffset);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sw.elapsed_seconds(), 0.0);
+  EXPECT_GE(sw.elapsed_millis(), sw.elapsed_seconds() * 1e3 * 0.99);
+  double before = sw.elapsed_seconds();
+  sw.restart();
+  EXPECT_LE(sw.elapsed_seconds(), before + 1.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "100000"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Fmt, FormatsDoubles) {
+  EXPECT_EQ(fmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(fmt("%.0fx", 12.7), "13x");
+}
+
+}  // namespace
+}  // namespace tap::util
