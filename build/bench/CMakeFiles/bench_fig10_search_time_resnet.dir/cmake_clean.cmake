@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_search_time_resnet.dir/bench_fig10_search_time_resnet.cpp.o"
+  "CMakeFiles/bench_fig10_search_time_resnet.dir/bench_fig10_search_time_resnet.cpp.o.d"
+  "bench_fig10_search_time_resnet"
+  "bench_fig10_search_time_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_search_time_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_resnet_training.dir/bench_fig12_resnet_training.cpp.o"
+  "CMakeFiles/bench_fig12_resnet_training.dir/bench_fig12_resnet_training.cpp.o.d"
+  "bench_fig12_resnet_training"
+  "bench_fig12_resnet_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_resnet_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_tap_vs_megatron.dir/bench_fig13_tap_vs_megatron.cpp.o"
+  "CMakeFiles/bench_fig13_tap_vs_megatron.dir/bench_fig13_tap_vs_megatron.cpp.o.d"
+  "bench_fig13_tap_vs_megatron"
+  "bench_fig13_tap_vs_megatron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tap_vs_megatron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_tap_vs_megatron.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_plan_viz.dir/bench_fig14_plan_viz.cpp.o"
+  "CMakeFiles/bench_fig14_plan_viz.dir/bench_fig14_plan_viz.cpp.o.d"
+  "bench_fig14_plan_viz"
+  "bench_fig14_plan_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_plan_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_xla.dir/bench_fig8_xla.cpp.o"
+  "CMakeFiles/bench_fig8_xla.dir/bench_fig8_xla.cpp.o.d"
+  "bench_fig8_xla"
+  "bench_fig8_xla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_xla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_search_time_t5.dir/bench_fig9_search_time_t5.cpp.o"
+  "CMakeFiles/bench_fig9_search_time_t5.dir/bench_fig9_search_time_t5.cpp.o.d"
+  "bench_fig9_search_time_t5"
+  "bench_fig9_search_time_t5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_search_time_t5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

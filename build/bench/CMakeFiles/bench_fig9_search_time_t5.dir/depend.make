@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_search_time_t5.
+# This may be replaced when dependencies are built.

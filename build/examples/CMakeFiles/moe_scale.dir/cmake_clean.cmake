@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_scale.dir/moe_scale.cpp.o"
+  "CMakeFiles/moe_scale.dir/moe_scale.cpp.o.d"
+  "moe_scale"
+  "moe_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t5_deep_scaling.dir/t5_deep_scaling.cpp.o"
+  "CMakeFiles/t5_deep_scaling.dir/t5_deep_scaling.cpp.o.d"
+  "t5_deep_scaling"
+  "t5_deep_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t5_deep_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

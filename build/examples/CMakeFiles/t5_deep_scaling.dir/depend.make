@@ -1,0 +1,2 @@
+# Empty dependencies file for t5_deep_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tap_cli.dir/tap_cli.cpp.o"
+  "CMakeFiles/tap_cli.dir/tap_cli.cpp.o.d"
+  "tap_cli"
+  "tap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

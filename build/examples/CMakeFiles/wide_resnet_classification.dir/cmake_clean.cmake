@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_resnet_classification.dir/wide_resnet_classification.cpp.o"
+  "CMakeFiles/wide_resnet_classification.dir/wide_resnet_classification.cpp.o.d"
+  "wide_resnet_classification"
+  "wide_resnet_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_resnet_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wide_resnet_classification.
+# This may be replaced when dependencies are built.

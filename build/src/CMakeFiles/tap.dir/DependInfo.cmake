@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alpa_like.cpp" "src/CMakeFiles/tap.dir/baselines/alpa_like.cpp.o" "gcc" "src/CMakeFiles/tap.dir/baselines/alpa_like.cpp.o.d"
+  "/root/repo/src/baselines/expert_plans.cpp" "src/CMakeFiles/tap.dir/baselines/expert_plans.cpp.o" "gcc" "src/CMakeFiles/tap.dir/baselines/expert_plans.cpp.o.d"
+  "/root/repo/src/baselines/flexflow_like.cpp" "src/CMakeFiles/tap.dir/baselines/flexflow_like.cpp.o" "gcc" "src/CMakeFiles/tap.dir/baselines/flexflow_like.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/tap.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/tap.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/tap.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/tap.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/tap.cpp" "src/CMakeFiles/tap.dir/core/tap.cpp.o" "gcc" "src/CMakeFiles/tap.dir/core/tap.cpp.o.d"
+  "/root/repo/src/core/visualize.cpp" "src/CMakeFiles/tap.dir/core/visualize.cpp.o" "gcc" "src/CMakeFiles/tap.dir/core/visualize.cpp.o.d"
+  "/root/repo/src/cost/collectives.cpp" "src/CMakeFiles/tap.dir/cost/collectives.cpp.o" "gcc" "src/CMakeFiles/tap.dir/cost/collectives.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/tap.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/tap.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/cost/flops.cpp" "src/CMakeFiles/tap.dir/cost/flops.cpp.o" "gcc" "src/CMakeFiles/tap.dir/cost/flops.cpp.o.d"
+  "/root/repo/src/fusion/fusion.cpp" "src/CMakeFiles/tap.dir/fusion/fusion.cpp.o" "gcc" "src/CMakeFiles/tap.dir/fusion/fusion.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/tap.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/tap.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/CMakeFiles/tap.dir/graph/graph_builder.cpp.o" "gcc" "src/CMakeFiles/tap.dir/graph/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/op_kind.cpp" "src/CMakeFiles/tap.dir/graph/op_kind.cpp.o" "gcc" "src/CMakeFiles/tap.dir/graph/op_kind.cpp.o.d"
+  "/root/repo/src/graph/tensor_shape.cpp" "src/CMakeFiles/tap.dir/graph/tensor_shape.cpp.o" "gcc" "src/CMakeFiles/tap.dir/graph/tensor_shape.cpp.o.d"
+  "/root/repo/src/ir/dot_export.cpp" "src/CMakeFiles/tap.dir/ir/dot_export.cpp.o" "gcc" "src/CMakeFiles/tap.dir/ir/dot_export.cpp.o.d"
+  "/root/repo/src/ir/graph_node.cpp" "src/CMakeFiles/tap.dir/ir/graph_node.cpp.o" "gcc" "src/CMakeFiles/tap.dir/ir/graph_node.cpp.o.d"
+  "/root/repo/src/ir/lowering.cpp" "src/CMakeFiles/tap.dir/ir/lowering.cpp.o" "gcc" "src/CMakeFiles/tap.dir/ir/lowering.cpp.o.d"
+  "/root/repo/src/models/moe.cpp" "src/CMakeFiles/tap.dir/models/moe.cpp.o" "gcc" "src/CMakeFiles/tap.dir/models/moe.cpp.o.d"
+  "/root/repo/src/models/multimodal.cpp" "src/CMakeFiles/tap.dir/models/multimodal.cpp.o" "gcc" "src/CMakeFiles/tap.dir/models/multimodal.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/tap.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/tap.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/transformer.cpp" "src/CMakeFiles/tap.dir/models/transformer.cpp.o" "gcc" "src/CMakeFiles/tap.dir/models/transformer.cpp.o.d"
+  "/root/repo/src/pruning/name_tree.cpp" "src/CMakeFiles/tap.dir/pruning/name_tree.cpp.o" "gcc" "src/CMakeFiles/tap.dir/pruning/name_tree.cpp.o.d"
+  "/root/repo/src/pruning/prune.cpp" "src/CMakeFiles/tap.dir/pruning/prune.cpp.o" "gcc" "src/CMakeFiles/tap.dir/pruning/prune.cpp.o.d"
+  "/root/repo/src/rewrite/packing.cpp" "src/CMakeFiles/tap.dir/rewrite/packing.cpp.o" "gcc" "src/CMakeFiles/tap.dir/rewrite/packing.cpp.o.d"
+  "/root/repo/src/rewrite/rewrite.cpp" "src/CMakeFiles/tap.dir/rewrite/rewrite.cpp.o" "gcc" "src/CMakeFiles/tap.dir/rewrite/rewrite.cpp.o.d"
+  "/root/repo/src/runtime/autodiff.cpp" "src/CMakeFiles/tap.dir/runtime/autodiff.cpp.o" "gcc" "src/CMakeFiles/tap.dir/runtime/autodiff.cpp.o.d"
+  "/root/repo/src/runtime/backward_kernels.cpp" "src/CMakeFiles/tap.dir/runtime/backward_kernels.cpp.o" "gcc" "src/CMakeFiles/tap.dir/runtime/backward_kernels.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/tap.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/tap.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/kernels.cpp" "src/CMakeFiles/tap.dir/runtime/kernels.cpp.o" "gcc" "src/CMakeFiles/tap.dir/runtime/kernels.cpp.o.d"
+  "/root/repo/src/runtime/spmd_interpreter.cpp" "src/CMakeFiles/tap.dir/runtime/spmd_interpreter.cpp.o" "gcc" "src/CMakeFiles/tap.dir/runtime/spmd_interpreter.cpp.o.d"
+  "/root/repo/src/runtime/tensor.cpp" "src/CMakeFiles/tap.dir/runtime/tensor.cpp.o" "gcc" "src/CMakeFiles/tap.dir/runtime/tensor.cpp.o.d"
+  "/root/repo/src/sharding/enumerate.cpp" "src/CMakeFiles/tap.dir/sharding/enumerate.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sharding/enumerate.cpp.o.d"
+  "/root/repo/src/sharding/pattern.cpp" "src/CMakeFiles/tap.dir/sharding/pattern.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sharding/pattern.cpp.o.d"
+  "/root/repo/src/sharding/plan.cpp" "src/CMakeFiles/tap.dir/sharding/plan.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sharding/plan.cpp.o.d"
+  "/root/repo/src/sharding/routing.cpp" "src/CMakeFiles/tap.dir/sharding/routing.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sharding/routing.cpp.o.d"
+  "/root/repo/src/sharding/shard_spec.cpp" "src/CMakeFiles/tap.dir/sharding/shard_spec.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sharding/shard_spec.cpp.o.d"
+  "/root/repo/src/sim/loss_curve.cpp" "src/CMakeFiles/tap.dir/sim/loss_curve.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sim/loss_curve.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/tap.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/tap.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/tap.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/tap.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/tap.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/tap.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/tap.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autodiff.cpp" "tests/CMakeFiles/tap_tests.dir/test_autodiff.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_autodiff.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/tap_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_collectives_properties.cpp" "tests/CMakeFiles/tap_tests.dir/test_collectives_properties.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_collectives_properties.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/tap_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/tap_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/tap_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/tap_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_builder.cpp" "tests/CMakeFiles/tap_tests.dir/test_graph_builder.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_graph_builder.cpp.o.d"
+  "/root/repo/tests/test_heterogeneous.cpp" "tests/CMakeFiles/tap_tests.dir/test_heterogeneous.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_heterogeneous.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/tap_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_lowering.cpp" "tests/CMakeFiles/tap_tests.dir/test_lowering.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_lowering.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/tap_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/tap_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_name_tree.cpp" "tests/CMakeFiles/tap_tests.dir/test_name_tree.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_name_tree.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/tap_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_prune.cpp" "tests/CMakeFiles/tap_tests.dir/test_prune.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_prune.cpp.o.d"
+  "/root/repo/tests/test_rewrite.cpp" "tests/CMakeFiles/tap_tests.dir/test_rewrite.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_rewrite.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/tap_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/tap_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/tap_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_sharding_patterns.cpp" "tests/CMakeFiles/tap_tests.dir/test_sharding_patterns.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_sharding_patterns.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/tap_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_spmd_interpreter.cpp" "tests/CMakeFiles/tap_tests.dir/test_spmd_interpreter.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_spmd_interpreter.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/tap_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_tensor_shape.cpp" "tests/CMakeFiles/tap_tests.dir/test_tensor_shape.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_tensor_shape.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/tap_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_training_loop.cpp" "tests/CMakeFiles/tap_tests.dir/test_training_loop.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_training_loop.cpp.o.d"
+  "/root/repo/tests/test_training_options.cpp" "tests/CMakeFiles/tap_tests.dir/test_training_options.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_training_options.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/tap_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
