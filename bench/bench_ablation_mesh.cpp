@@ -17,7 +17,7 @@ int main() {
 
   util::Table table({"mesh [dp, tp]", "candidates", "comm cost ms",
                      "sim iter ms", "per-GPU mem"});
-  double best_iter = 1e30;
+  double best_iter = core::kInvalidPlanCost;
   std::string best_mesh;
   for (int tp : {1, 2, 4, 8, 16}) {
     int dp = 16 / tp;

@@ -84,7 +84,7 @@ inline AlpaBand simulate_alpa_band(const Graph& g,
   lop.cluster_by_scope = false;
   ir::TapGraph op_tg = ir::lower(g, lop);
   band.best = simulate_alpa_plan(op_tg, r.best_plan, r.best_stages, cluster);
-  band.min = 1e30;
+  band.min = core::kInvalidPlanCost;
   int n = 0;
   for (const auto& cand : r.evaluated) {
     double t = simulate_alpa_plan(op_tg, cand.plan, cand.stages, cluster);

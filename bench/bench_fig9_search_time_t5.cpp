@@ -5,6 +5,7 @@
 // ratio and TAP's flatness in depth are the reproduced shape.
 #include "baselines/alpa_like.h"
 #include "bench_common.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace tap;
@@ -46,5 +47,53 @@ int main() {
                "re-partitions the whole op-level graph, so its time grows "
                "superlinearly (paper: 21x-67x; see EXPERIMENTS.md for our "
                "measured band).\n";
+
+  // --- parallel mesh sweep: threads=1 vs threads=hardware_concurrency ----
+  // The sweep's (dp, tp) factorizations are searched concurrently on the
+  // planner's ThreadPool; plans and statistics are identical at every
+  // thread count (deterministic index-ordered join), only wall time moves.
+  std::cout << "\n--- auto_parallel_best_mesh wall time vs threads "
+               "(T5, 2x8 GPUs) ---\n";
+  std::printf("hardware threads detected: %d%s\n", util::ThreadPool::resolve(0),
+              util::ThreadPool::resolve(0) == 1
+                  ? " (single core: expect 1.0x, identity still holds)"
+                  : "");
+  util::Table tt({"layers", "threads=1 ms", "threads=auto ms", "speedup",
+                  "identical"});
+  for (int layers : {8, 24}) {
+    bench::Workload w = bench::t5_workload(layers);
+    core::TapOptions seq;
+    seq.cluster = cluster;
+    seq.threads = 1;
+    auto r1 = core::auto_parallel_best_mesh(w.tg, seq);
+    core::TapOptions par = seq;
+    par.threads = 0;  // hardware_concurrency
+    auto rn = core::auto_parallel_best_mesh(w.tg, par);
+    const bool same = r1.best_plan.choice == rn.best_plan.choice &&
+                      r1.cost.total() == rn.cost.total() &&
+                      r1.candidate_plans == rn.candidate_plans;
+    tt.add_row({std::to_string(layers), bench::ms(r1.search_seconds),
+                bench::ms(rn.search_seconds),
+                util::fmt("%.1fx", r1.search_seconds / rn.search_seconds),
+                same ? "yes" : "NO"});
+  }
+  tt.print(std::cout);
+
+  // --- Fig. 6-style per-pass breakdown of one pipeline run ---------------
+  {
+    bench::Workload w = bench::t5_workload(24);
+    core::TapOptions topts;
+    topts.num_shards = cluster.world();
+    topts.cluster = cluster;
+    auto r = core::auto_parallel(w.tg, topts);
+    std::cout << "\n--- per-pass breakdown, T5-24L tp=16 (Fig. 6 style) "
+                 "---\n";
+    for (const auto& t : r.pass_timings)
+      std::printf("  %-18s %7.2f ms\n", t.pass.c_str(), t.seconds * 1e3);
+    std::cout << "(Prune is mesh-independent and hoisted out of the sweep; "
+                 "BuildPatternTable is rebuilt per mesh — patterns_for "
+                 "filters by divisibility against num_shards and gates the "
+                 "dp pattern on the global batch.)\n";
+  }
   return 0;
 }

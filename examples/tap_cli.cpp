@@ -4,6 +4,7 @@
 //           [--layers N] [--classes N] [--batch N]
 //           [--nodes M] [--gpus N]            cluster S(M, N)
 //           [--mesh DPxTP | --mesh auto]      device mesh (default auto)
+//           [--threads N]                     search workers (0 = auto)
 //           [--pipeline K]                    pipeline stages (§4.8)
 //           [--amp] [--recompute] [--zero1]   training techniques (§4.8)
 //           [--xla]                           fusion pass (Fig. 8)
@@ -37,6 +38,7 @@ struct Args {
   int nodes = 2;
   int gpus = 8;
   std::string mesh = "auto";
+  int threads = 1;
   int pipeline = 1;
   bool amp = false, recompute = false, zero1 = false, xla = false, viz = false;
   std::string save_plan, load_plan, trace_path;
@@ -67,6 +69,8 @@ bool parse(int argc, char** argv, Args* a) {
       a->gpus = std::atoi(v);
     } else if (!std::strcmp(f, "--mesh") && (v = need_value(i))) {
       a->mesh = v;
+    } else if (!std::strcmp(f, "--threads") && (v = need_value(i))) {
+      a->threads = std::atoi(v);
     } else if (!std::strcmp(f, "--pipeline") && (v = need_value(i))) {
       a->pipeline = std::atoi(v);
     } else if (!std::strcmp(f, "--amp")) {
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
   core::TapOptions opts;
   opts.cluster = cost::ClusterSpec::v100_cluster(args.nodes);
   opts.cluster.gpus_per_node = args.gpus;
+  opts.threads = args.threads;
 
   core::TapResult result;
   if (!args.load_plan.empty()) {

@@ -1,0 +1,137 @@
+#include "core/family_search.h"
+
+#include "sharding/enumerate.h"
+#include "sharding/routing.h"
+
+namespace tap::core {
+
+using pruning::SubgraphFamily;
+using sharding::FamilyPlanEnumerator;
+using sharding::ShardingPlan;
+
+std::int64_t FamilySearchContext::weight_bytes(
+    const SubgraphFamily& family, const ShardingPlan& plan) const {
+  const Graph& g = *tg_.source();
+  std::int64_t total = 0;
+  for (ir::GraphNodeId id : family.member_nodes) {
+    const auto& n = tg_.node(id);
+    if (!n.has_weight()) continue;
+    const auto& pats = table_.at(id);
+    const auto& pat = pats[static_cast<std::size_t>(
+        plan.choice[static_cast<std::size_t>(id)])];
+    for (NodeId wid : n.weight_ops) {
+      std::int64_t bytes = g.node(wid).weight->size_bytes();
+      if (pat.weight.is_split() &&
+          pat.weight.fits(g.node(wid).weight->shape, opts_.num_shards)) {
+        bytes /= opts_.num_shards;
+      }
+      total += bytes;
+    }
+  }
+  return total;
+}
+
+bool FamilySearchContext::score(const ShardingPlan& plan,
+                                const SubgraphFamily& family,
+                                FamilyScore* out, SearchStats* stats) const {
+  stats->nodes_visited +=
+      static_cast<std::int64_t>(family.member_nodes.size());
+  auto probe = sharding::route_subgraph(tg_, plan, family.member_nodes,
+                                        sharding::ShardSpec::replicate(),
+                                        &table_);
+  if (!probe.valid) return false;
+  auto exit_spec =
+      sharding::subgraph_exit_spec(tg_, probe, family.member_nodes);
+  auto routed = sharding::route_subgraph(tg_, plan, family.member_nodes,
+                                         exit_spec, &table_);
+  if (!routed.valid) return false;
+  ++stats->cost_queries;
+  cost::CostOptions copts = opts_.cost;
+  copts.overlap_window_s = cost::backward_compute_window(
+      tg_, routed, &family.member_nodes, opts_.num_shards, opts_.cluster,
+      &table_);
+  out->comm =
+      cost::comm_cost(routed, plan.num_shards, opts_.cluster, copts).total();
+  out->weight_bytes = weight_bytes(family, plan);
+  return true;
+}
+
+bool FamilySearchContext::evaluate_full_graph(const ShardingPlan& plan,
+                                              double* cost,
+                                              SearchStats* stats) const {
+  stats->nodes_visited += static_cast<std::int64_t>(tg_.num_nodes());
+  auto routed = sharding::route_plan(tg_, plan, &table_);
+  if (!routed.valid) return false;
+  ++stats->cost_queries;
+  *cost = cost::comm_cost(routed, plan.num_shards, opts_.cluster, opts_.cost)
+              .total();
+  return true;
+}
+
+FamilySearchOutcome ExhaustivePolicy::search(
+    const FamilySearchContext& ctx, const SubgraphFamily& family,
+    const ShardingPlan& base) const {
+  FamilySearchOutcome out;
+  FamilyPlanEnumerator enumerator(ctx.graph(), family,
+                                  ctx.options().num_shards);
+  ShardingPlan scratch = base;
+  FamilyScore best;
+  std::vector<int> choice;
+  while (enumerator.next(&choice)) {
+    ++out.stats.candidate_plans;
+    sharding::apply_family_choice(family, choice, &scratch);
+    FamilyScore s;
+    if (!ctx.score(scratch, family, &s, &out.stats)) continue;
+    ++out.stats.valid_plans;
+    if (!out.found || s.better_than(best)) {
+      out.found = true;
+      best = s;
+      out.choice = choice;
+    }
+  }
+  return out;
+}
+
+FamilySearchOutcome GreedyPolicy::search(const FamilySearchContext& ctx,
+                                         const SubgraphFamily& family,
+                                         const ShardingPlan& base) const {
+  FamilySearchOutcome out;
+  ShardingPlan scratch = base;
+  std::vector<int> choice(family.member_nodes.size(), 0);
+  for (std::size_t j = 0; j < family.member_nodes.size(); ++j) {
+    int best_k = 0;
+    FamilyScore best_local;
+    bool have_local = false;
+    const auto& pats = ctx.table().at(family.member_nodes[j]);
+    for (std::size_t k = 0; k < pats.size(); ++k) {
+      choice[j] = static_cast<int>(k);
+      ++out.stats.candidate_plans;
+      sharding::apply_family_choice(family, choice, &scratch);
+      FamilyScore s;
+      if (!ctx.score(scratch, family, &s, &out.stats)) continue;
+      ++out.stats.valid_plans;
+      if (!have_local || s.better_than(best_local)) {
+        have_local = true;
+        best_local = s;
+        best_k = static_cast<int>(k);
+      }
+    }
+    choice[j] = best_k;
+    out.found = out.found || have_local;
+  }
+  out.choice = choice;
+  return out;
+}
+
+FamilySearchOutcome AutoPolicy::search(const FamilySearchContext& ctx,
+                                       const SubgraphFamily& family,
+                                       const ShardingPlan& base) const {
+  FamilyPlanEnumerator enumerator(ctx.graph(), family,
+                                  ctx.options().num_shards);
+  if (enumerator.total_plans() <= ctx.options().max_plans_per_family) {
+    return exhaustive_.search(ctx, family, base);
+  }
+  return greedy_.search(ctx, family, base);
+}
+
+}  // namespace tap::core

@@ -1,0 +1,115 @@
+// PlanContext — the shared state the PlannerPipeline passes read and
+// write (core/planner_pipeline.h). The monolithic auto_parallel loop is
+// restructured as BuildPatternTable → Prune → FamilySearch → GlobalRefine
+// → FinalizeCost; each pass consumes the fields its predecessors produced
+// and records its wall time, so benches and tests can run pipeline
+// prefixes and report Fig. 6-style per-stage search breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "pruning/prune.h"
+#include "sharding/pattern.h"
+#include "sharding/plan.h"
+#include "sharding/routing.h"
+#include "util/check.h"
+
+namespace tap::core {
+
+/// Sentinel for "no valid plan yet" in cost minimization. Every real
+/// communication cost is finite, so infinity orders after every candidate.
+inline constexpr double kInvalidPlanCost =
+    std::numeric_limits<double>::infinity();
+
+struct TapOptions {
+  /// Tensor-parallel group size (mesh inner dimension).
+  int num_shards = 8;
+  /// Data-parallel replicas around each tp group (mesh outer dimension,
+  /// the paper's `mesh = [2, 8]` Example 1). dp x tp must equal the device
+  /// world you intend to use.
+  int dp_replicas = 1;
+  cost::ClusterSpec cluster = cost::ClusterSpec::v100_node();
+  pruning::PruneOptions prune;
+  cost::CostOptions cost;
+  /// Families whose Cartesian product exceeds this fall back to per-node
+  /// greedy selection. A T5 encoder block enumerates 3^6 = 729 exhaustive
+  /// candidates (§6.3.1); a decoder block (10 projections, 3^10) switches
+  /// to greedy, keeping the total "hundreds of plans" like the paper.
+  std::int64_t max_plans_per_family = 2000;
+  /// Worker threads for the independent family searches and the (dp, tp)
+  /// factorizations of the mesh sweep. <= 0 selects
+  /// hardware_concurrency(); 1 forces the sequential order. Results are
+  /// bit-identical at every setting: per-task statistics merge in family /
+  /// mesh index order, never completion order.
+  int threads = 0;
+};
+
+/// Search work counters (Table 2, Figs. 9/10). Every parallel task owns a
+/// local copy; the join merges them in task-index order so the totals are
+/// deterministic.
+struct SearchStats {
+  std::int64_t candidate_plans = 0;
+  std::int64_t valid_plans = 0;
+  std::int64_t nodes_visited = 0;
+  std::int64_t cost_queries = 0;
+
+  void merge(const SearchStats& o) {
+    candidate_plans += o.candidate_plans;
+    valid_plans += o.valid_plans;
+    nodes_visited += o.nodes_visited;
+    cost_queries += o.cost_queries;
+  }
+};
+
+/// Wall time of one pipeline pass.
+struct PassTiming {
+  std::string pass;
+  double seconds = 0.0;
+};
+
+struct PlanContext {
+  // ---- inputs -----------------------------------------------------------
+  const ir::TapGraph* tg = nullptr;
+  TapOptions opts;
+  /// Optional precomputed pruning. Algorithm 1 only inspects names and
+  /// structure — never the mesh — so the mesh sweep prunes once and shares
+  /// the result across every (dp, tp) factorization; PrunePass copies this
+  /// instead of re-running when set.
+  const pruning::PruneResult* shared_pruning = nullptr;
+
+  // ---- pass outputs -----------------------------------------------------
+  std::optional<sharding::PatternTable> table;  ///< BuildPatternTable
+  pruning::PruneResult pruning;                 ///< Prune
+  sharding::ShardingPlan plan;                  ///< FamilySearch
+  sharding::RoutedPlan routed;                  ///< GlobalRefine
+  cost::PlanCost cost;                          ///< FinalizeCost
+  SearchStats stats;
+  std::vector<PassTiming> timings;
+
+  const ir::TapGraph& graph() const {
+    TAP_CHECK(tg != nullptr) << "PlanContext has no graph";
+    return *tg;
+  }
+
+  /// Seconds spent in the named pass (0 if it has not run).
+  double seconds_for(std::string_view pass) const {
+    for (const PassTiming& t : timings)
+      if (t.pass == pass) return t.seconds;
+    return 0.0;
+  }
+
+  /// Total wall time across all recorded passes.
+  double total_seconds() const {
+    double s = 0.0;
+    for (const PassTiming& t : timings) s += t.seconds;
+    return s;
+  }
+};
+
+}  // namespace tap::core

@@ -1,0 +1,189 @@
+#include "core/planner_pipeline.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace tap::core {
+
+namespace {
+
+using pruning::SubgraphFamily;
+using sharding::ShardingPlan;
+
+/// Full-graph cost with the overlap window computed over the whole model.
+double global_cost(const ir::TapGraph& tg, const sharding::RoutedPlan& routed,
+                   const TapOptions& opts,
+                   const sharding::PatternTable& table) {
+  cost::CostOptions copts = opts.cost;
+  copts.overlap_window_s = cost::backward_compute_window(
+      tg, routed, nullptr, opts.num_shards, opts.cluster, &table);
+  return cost::comm_cost(routed, opts.num_shards, opts.cluster, copts)
+      .total();
+}
+
+bool family_is_weighted(const ir::TapGraph& tg, const SubgraphFamily& f) {
+  for (ir::GraphNodeId id : f.member_nodes)
+    if (tg.node(id).has_weight()) return true;
+  return false;
+}
+
+}  // namespace
+
+PlannerPipeline& PlannerPipeline::add(std::unique_ptr<PlannerPass> pass) {
+  TAP_CHECK(pass != nullptr);
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+void PlannerPipeline::run_prefix(PlanContext& ctx, std::size_t n) const {
+  TAP_CHECK_LE(n, passes_.size());
+  (void)ctx.graph();  // fail early on an unbound context
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Stopwatch sw;
+    passes_[i]->run(ctx);
+    ctx.timings.push_back({passes_[i]->name(), sw.elapsed_seconds()});
+  }
+}
+
+PlannerPipeline PlannerPipeline::standard(
+    std::shared_ptr<const FamilySearchPolicy> policy) {
+  if (policy == nullptr) policy = std::make_shared<AutoPolicy>();
+  PlannerPipeline p;
+  p.add(std::make_unique<BuildPatternTablePass>())
+      .add(std::make_unique<PrunePass>())
+      .add(std::make_unique<FamilySearchPass>(std::move(policy)))
+      .add(std::make_unique<GlobalRefinePass>())
+      .add(std::make_unique<FinalizeCostPass>());
+  return p;
+}
+
+void BuildPatternTablePass::run(PlanContext& ctx) const {
+  TAP_CHECK_GE(ctx.opts.num_shards, 1);
+  TAP_CHECK_GE(ctx.opts.dp_replicas, 1);
+  ctx.table.emplace(ctx.graph(), ctx.opts.num_shards, ctx.opts.dp_replicas);
+}
+
+void PrunePass::run(PlanContext& ctx) const {
+  if (ctx.shared_pruning != nullptr) {
+    ctx.pruning = *ctx.shared_pruning;
+    return;
+  }
+  ctx.pruning = pruning::prune_graph(ctx.graph(), ctx.opts.prune);
+}
+
+void SingleFamilyPass::run(PlanContext& ctx) const {
+  const ir::TapGraph& tg = ctx.graph();
+  SubgraphFamily fam;
+  fam.representative = "<whole-graph>";
+  fam.instances = {fam.representative};
+  fam.member_nodes.reserve(tg.num_nodes());
+  fam.relnames.reserve(tg.num_nodes());
+  for (const auto& n : tg.nodes()) {
+    fam.member_nodes.push_back(n.id);
+    fam.relnames.push_back(n.name);
+    fam.params += n.params;
+  }
+  fam.instance_nodes = {fam.member_nodes};
+  pruning::PruneResult pr;
+  pr.fold_depth = 0;
+  pr.total_graph_nodes = tg.num_nodes();
+  pr.families.push_back(std::move(fam));
+  ctx.pruning = std::move(pr);
+}
+
+FamilySearchPass::FamilySearchPass(
+    std::shared_ptr<const FamilySearchPolicy> policy)
+    : policy_(std::move(policy)) {
+  TAP_CHECK(policy_ != nullptr);
+}
+
+void FamilySearchPass::run(PlanContext& ctx) const {
+  const ir::TapGraph& tg = ctx.graph();
+  TAP_CHECK(ctx.table.has_value())
+      << "FamilySearch requires BuildPatternTable";
+  ctx.plan =
+      sharding::default_plan(tg, ctx.opts.num_shards, ctx.opts.dp_replicas);
+
+  std::vector<const SubgraphFamily*> families;
+  for (const SubgraphFamily& f : ctx.pruning.families) {
+    if (family_is_weighted(tg, f)) families.push_back(&f);
+    // Families with no weighted member have nothing to decide.
+  }
+  if (families.empty()) return;
+
+  // Warm the TapGraph's lazily-built topo/consumer caches before fanning
+  // out: route_subgraph reads them, and the first build must not race.
+  (void)tg.cached_topo_order();
+  (void)tg.consumers(families.front()->member_nodes.front());
+
+  FamilySearchContext fctx(tg, ctx.opts, *ctx.table);
+  std::vector<FamilySearchOutcome> outcomes(families.size());
+  util::ThreadPool pool(families.size() > 1 ? ctx.opts.threads : 1);
+  pool.parallel_for(families.size(), [&](std::size_t i) {
+    outcomes[i] = policy_->search(fctx, *families[i], ctx.plan);
+  });
+
+  // Deterministic join: merge stats and replay winners in family order.
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    ctx.stats.merge(outcomes[i].stats);
+    if (outcomes[i].found) {
+      sharding::apply_family_choice(*families[i], outcomes[i].choice,
+                                    &ctx.plan);
+    }
+  }
+}
+
+void GlobalRefinePass::run(PlanContext& ctx) const {
+  const ir::TapGraph& tg = ctx.graph();
+  TAP_CHECK(ctx.table.has_value()) << "GlobalRefine requires BuildPatternTable";
+  TAP_CHECK(ctx.plan.choice.size() == tg.num_nodes())
+      << "GlobalRefine requires FamilySearch";
+  const sharding::PatternTable& table = *ctx.table;
+
+  ctx.routed = sharding::route_plan(tg, ctx.plan, &table);
+  ctx.stats.nodes_visited += static_cast<std::int64_t>(tg.num_nodes());
+  double current_cost = ctx.routed.valid
+                            ? global_cost(tg, ctx.routed, ctx.opts, table)
+                            : kInvalidPlanCost;
+  ++ctx.stats.cost_queries;
+  for (const SubgraphFamily& family : ctx.pruning.families) {
+    if (!family_is_weighted(tg, family)) continue;
+    ShardingPlan reverted = ctx.plan;
+    sharding::apply_family_choice(
+        family, std::vector<int>(family.member_nodes.size(), 0), &reverted);
+    auto routed = sharding::route_plan(tg, reverted, &table);
+    ctx.stats.nodes_visited += static_cast<std::int64_t>(tg.num_nodes());
+    if (!routed.valid) continue;
+    ++ctx.stats.cost_queries;
+    const double c = global_cost(tg, routed, ctx.opts, table);
+    if (c < current_cost) {
+      current_cost = c;
+      ctx.plan = std::move(reverted);
+      ctx.routed = std::move(routed);
+    }
+  }
+  if (!ctx.routed.valid) {
+    // Assembly never produced a routable plan: fall back to pure DP.
+    ctx.plan = sharding::default_plan(tg, ctx.opts.num_shards,
+                                      ctx.opts.dp_replicas);
+    ctx.routed = sharding::route_plan(tg, ctx.plan, &table);
+  }
+  TAP_CHECK(ctx.routed.valid) << ctx.routed.error;
+}
+
+void FinalizeCostPass::run(PlanContext& ctx) const {
+  const ir::TapGraph& tg = ctx.graph();
+  TAP_CHECK(ctx.table.has_value() && ctx.routed.valid)
+      << "FinalizeCost requires GlobalRefine";
+  cost::CostOptions copts = ctx.opts.cost;
+  copts.overlap_window_s = cost::backward_compute_window(
+      tg, ctx.routed, nullptr, ctx.opts.num_shards, ctx.opts.cluster,
+      &*ctx.table);
+  ctx.cost = cost::comm_cost(ctx.routed, ctx.opts.num_shards,
+                             ctx.opts.cluster, copts);
+  ++ctx.stats.cost_queries;
+}
+
+}  // namespace tap::core

@@ -1,0 +1,128 @@
+// PlannerPipeline — the staged decomposition of the TAP planner (Fig. 5).
+//
+// auto_parallel used to be one monolithic loop; it is now an explicit
+// sequence of passes over a shared PlanContext:
+//
+//   BuildPatternTable  precompute per-node sharding patterns for the mesh
+//   Prune              Algorithm 1: fold repeated blocks into families
+//   FamilySearch       Algorithm 2 per weighted family, via a pluggable
+//                      FamilySearchPolicy; independent families run on a
+//                      util::ThreadPool with deterministic merging
+//   GlobalRefine       full-graph assembly + per-family revert-to-DP check
+//   FinalizeCost       final routing cost with the global overlap window
+//
+// Each pass is a small class with name()/run(PlanContext&); the pipeline
+// records per-pass wall time (PlanContext::timings), and benches/tests can
+// run prefixes (run_prefix) to isolate a stage. The Alpa-like and
+// FlexFlow-like baselines assemble their own pipelines from the same
+// passes — BuildPatternTable → SingleFamily → FamilySearch(their policy) —
+// instead of re-implementing routing/costing glue.
+#pragma once
+
+#include <memory>
+
+#include "core/family_search.h"
+
+namespace tap::core {
+
+class PlannerPass {
+ public:
+  virtual ~PlannerPass() = default;
+  virtual std::string name() const = 0;
+  virtual void run(PlanContext& ctx) const = 0;
+};
+
+class PlannerPipeline {
+ public:
+  PlannerPipeline() = default;
+  PlannerPipeline(PlannerPipeline&&) = default;
+  PlannerPipeline& operator=(PlannerPipeline&&) = default;
+
+  PlannerPipeline& add(std::unique_ptr<PlannerPass> pass);
+
+  std::size_t size() const { return passes_.size(); }
+  const PlannerPass& pass(std::size_t i) const { return *passes_[i]; }
+
+  /// Runs every pass in order, appending one PassTiming per pass to
+  /// ctx.timings.
+  void run(PlanContext& ctx) const { run_prefix(ctx, passes_.size()); }
+
+  /// Runs only the first `n` passes — benches and tests isolate stages by
+  /// executing pipeline prefixes.
+  void run_prefix(PlanContext& ctx, std::size_t n) const;
+
+  /// The standard five-pass TAP pipeline. `policy` defaults to AutoPolicy
+  /// (exhaustive under max_plans_per_family, greedy beyond).
+  static PlannerPipeline standard(
+      std::shared_ptr<const FamilySearchPolicy> policy = nullptr);
+
+ private:
+  std::vector<std::unique_ptr<PlannerPass>> passes_;
+};
+
+/// Precomputes the per-node pattern lists for the context's mesh. Unlike
+/// pruning, this CANNOT be hoisted out of the mesh sweep: patterns_for
+/// filters the catalog by divisibility against num_shards and gates the
+/// batch-split "dp" pattern on batch % (dp·tp) == 0, so every (dp, tp)
+/// factorization owns a different table.
+class BuildPatternTablePass final : public PlannerPass {
+ public:
+  std::string name() const override { return "BuildPatternTable"; }
+  void run(PlanContext& ctx) const override;
+};
+
+/// Algorithm 1. Copies ctx.shared_pruning when provided (the mesh sweep
+/// prunes once — the fold is mesh-independent).
+class PrunePass final : public PlannerPass {
+ public:
+  std::string name() const override { return "Prune"; }
+  void run(PlanContext& ctx) const override;
+};
+
+/// Synthesizes one family covering the whole graph — the "no search-space
+/// reduction" configuration the whole-graph baseline policies drive
+/// (Table 2 rows FlexFlow/Alpa).
+class SingleFamilyPass final : public PlannerPass {
+ public:
+  std::string name() const override { return "SingleFamily"; }
+  void run(PlanContext& ctx) const override;
+};
+
+/// Algorithm 2 over every weighted family, delegated to the policy.
+/// Families are independent (subgraph scoring only reads member choices),
+/// so they run concurrently on a util::ThreadPool sized by
+/// TapOptions::threads; per-family outcomes and statistics merge in family
+/// index order, making plan and counters bit-identical to the sequential
+/// run at any thread count.
+class FamilySearchPass final : public PlannerPass {
+ public:
+  explicit FamilySearchPass(std::shared_ptr<const FamilySearchPolicy> policy);
+  std::string name() const override { return "FamilySearch"; }
+  void run(PlanContext& ctx) const override;
+
+  const FamilySearchPolicy& policy() const { return *policy_; }
+
+ private:
+  std::shared_ptr<const FamilySearchPolicy> policy_;
+};
+
+/// Assembles and validates the full plan. Subgraph-local scoring cannot
+/// see cross-family resharding (e.g. a column-split LM head forcing a huge
+/// AllGather at the loss), so refine: for every family, keep its local
+/// winner only if the FULL-graph cost agrees; otherwise revert that family
+/// to the universal data-parallel fallback. O(families) global routes —
+/// still independent of the per-family candidate counts.
+class GlobalRefinePass final : public PlannerPass {
+ public:
+  std::string name() const override { return "GlobalRefine"; }
+  void run(PlanContext& ctx) const override;
+};
+
+/// Final full-graph communication cost with the model-wide overlap window.
+class FinalizeCostPass final : public PlannerPass {
+ public:
+  std::string name() const override { return "FinalizeCost"; }
+  void run(PlanContext& ctx) const override;
+};
+
+}  // namespace tap::core

@@ -1,250 +1,101 @@
 #include "core/tap.h"
 
-#include <algorithm>
+#include <utility>
 
+#include "core/planner_pipeline.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace tap::core {
 
 namespace {
 
-using pruning::SubgraphFamily;
-using sharding::FamilyPlanEnumerator;
-using sharding::PatternTable;
-using sharding::ShardingPlan;
+TapResult context_to_result(PlanContext&& ctx, double elapsed_seconds) {
+  TapResult r;
+  r.best_plan = std::move(ctx.plan);
+  r.routed = std::move(ctx.routed);
+  r.cost = ctx.cost;
+  r.pruning = std::move(ctx.pruning);
+  r.candidate_plans = ctx.stats.candidate_plans;
+  r.valid_plans = ctx.stats.valid_plans;
+  r.nodes_visited = ctx.stats.nodes_visited;
+  r.cost_queries = ctx.stats.cost_queries;
+  r.search_seconds = elapsed_seconds;
+  r.pass_timings = std::move(ctx.timings);
+  return r;
+}
 
-struct Score {
-  double comm = 0.0;
-  std::int64_t weight_bytes = 0;  ///< tie-break: prefer sharded weights
-
-  bool better_than(const Score& other) const {
-    // Communication decides; near-ties go to the plan with less per-device
-    // weight memory (the paper's §6.4.1 memory advantage).
-    if (comm < other.comm * (1.0 - 1e-9)) return true;
-    if (comm > other.comm * (1.0 + 1e-9)) return false;
-    return weight_bytes < other.weight_bytes;
-  }
-};
-
-struct FamilySearcher {
-  const ir::TapGraph& tg;
-  const TapOptions& opts;
-  const PatternTable& table;
-  TapResult* stats;
-
-  /// Local per-device bytes of the primary weights under the candidate.
-  std::int64_t weight_bytes(const SubgraphFamily& family,
-                            const ShardingPlan& plan) const {
-    // (dp replicas never shard weights; only the tp layout matters here.)
-    const Graph& g = *tg.source();
-    std::int64_t total = 0;
-    for (ir::GraphNodeId id : family.member_nodes) {
-      const auto& n = tg.node(id);
-      if (!n.has_weight()) continue;
-      const auto& pats = table.at(id);
-      const auto& pat = pats[static_cast<std::size_t>(
-          plan.choice[static_cast<std::size_t>(id)])];
-      for (NodeId wid : n.weight_ops) {
-        std::int64_t bytes = g.node(wid).weight->size_bytes();
-        if (pat.weight.is_split() &&
-            pat.weight.fits(g.node(wid).weight->shape, opts.num_shards)) {
-          bytes /= opts.num_shards;
-        }
-        total += bytes;
-      }
-    }
-    return total;
-  }
-
-  /// Steady-state subgraph scoring (see route_subgraph docs).
-  bool score(const ShardingPlan& plan, const SubgraphFamily& family,
-             Score* out) const {
-    stats->nodes_visited +=
-        static_cast<std::int64_t>(family.member_nodes.size());
-    auto probe = sharding::route_subgraph(tg, plan, family.member_nodes,
-                                          sharding::ShardSpec::replicate(),
-                                          &table);
-    if (!probe.valid) return false;
-    auto exit_spec =
-        sharding::subgraph_exit_spec(tg, probe, family.member_nodes);
-    auto routed = sharding::route_subgraph(tg, plan, family.member_nodes,
-                                           exit_spec, &table);
-    if (!routed.valid) return false;
-    ++stats->cost_queries;
-    cost::CostOptions copts = opts.cost;
-    copts.overlap_window_s = cost::backward_compute_window(
-        tg, routed, &family.member_nodes, opts.num_shards, opts.cluster,
-        &table);
-    out->comm = cost::comm_cost(routed, plan.num_shards, opts.cluster, copts)
-                    .total();
-    out->weight_bytes = weight_bytes(family, plan);
-    return true;
-  }
-
-  /// Exhaustive (or greedy, beyond the cap) candidate search over one
-  /// family — Algorithm 2's inner loop.
-  void search(const SubgraphFamily& family, ShardingPlan* plan) const {
-    FamilyPlanEnumerator enumerator(tg, family, opts.num_shards);
-    ShardingPlan scratch = *plan;
-    std::vector<int> best_choice;
-    Score best;
-    bool found = false;
-
-    auto consider = [&](const std::vector<int>& choice) {
-      ++stats->candidate_plans;
-      sharding::apply_family_choice(family, choice, &scratch);
-      Score s;
-      if (!score(scratch, family, &s)) return false;
-      ++stats->valid_plans;
-      if (!found || s.better_than(best)) {
-        found = true;
-        best = s;
-        best_choice = choice;
-      }
-      return true;
-    };
-
-    if (enumerator.total_plans() <= opts.max_plans_per_family) {
-      std::vector<int> choice;
-      while (enumerator.next(&choice)) consider(choice);
-    } else {
-      // Greedy fallback: optimize one member at a time.
-      std::vector<int> choice(family.member_nodes.size(), 0);
-      for (std::size_t j = 0; j < family.member_nodes.size(); ++j) {
-        int best_k = 0;
-        Score best_local;
-        bool have_local = false;
-        const auto& pats = table.at(family.member_nodes[j]);
-        for (std::size_t k = 0; k < pats.size(); ++k) {
-          choice[j] = static_cast<int>(k);
-          ++stats->candidate_plans;
-          sharding::apply_family_choice(family, choice, &scratch);
-          Score s;
-          if (!score(scratch, family, &s)) continue;
-          ++stats->valid_plans;
-          if (!have_local || s.better_than(best_local)) {
-            have_local = true;
-            best_local = s;
-            best_k = static_cast<int>(k);
-          }
-        }
-        choice[j] = best_k;
-        found = found || have_local;
-      }
-      best_choice = choice;
-    }
-
-    if (found) sharding::apply_family_choice(family, best_choice, plan);
-  }
-};
-
-/// Full-graph cost with the overlap window computed over the whole model.
-double global_cost(const ir::TapGraph& tg,
-                   const sharding::RoutedPlan& routed,
-                   const TapOptions& opts, const PatternTable& table) {
-  cost::CostOptions copts = opts.cost;
-  copts.overlap_window_s = cost::backward_compute_window(
-      tg, routed, nullptr, opts.num_shards, opts.cluster, &table);
-  return cost::comm_cost(routed, opts.num_shards, opts.cluster, copts)
-      .total();
+TapResult run_standard(const ir::TapGraph& tg, const TapOptions& opts,
+                       const pruning::PruneResult* shared_pruning) {
+  util::Stopwatch sw;
+  PlanContext ctx;
+  ctx.tg = &tg;
+  ctx.opts = opts;
+  ctx.shared_pruning = shared_pruning;
+  PlannerPipeline::standard().run(ctx);
+  return context_to_result(std::move(ctx), sw.elapsed_seconds());
 }
 
 }  // namespace
 
 TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts) {
   TAP_CHECK_GE(opts.num_shards, 1);
-  util::Stopwatch sw;
-  TapResult result;
-
   TAP_CHECK_GE(opts.dp_replicas, 1);
-  const PatternTable table(tg, opts.num_shards, opts.dp_replicas);
-
-  // ② prune (Algorithm 1).
-  result.pruning = pruning::prune_graph(tg, opts.prune);
-
-  // ③/④ per-family enumeration + validation + costing (Algorithm 2).
-  ShardingPlan plan =
-      sharding::default_plan(tg, opts.num_shards, opts.dp_replicas);
-  FamilySearcher searcher{tg, opts, table, &result};
-  for (const SubgraphFamily& family : result.pruning.families) {
-    bool weighted = false;
-    for (ir::GraphNodeId id : family.member_nodes)
-      weighted |= tg.node(id).has_weight();
-    if (!weighted) continue;  // nothing to decide
-    searcher.search(family, &plan);
-  }
-
-  // ⑤ assemble and validate the full plan. Subgraph-local scoring cannot
-  // see cross-family resharding (e.g. a column-split LM head forcing a
-  // huge AllGather at the loss), so refine: for every family, keep its
-  // local winner only if the FULL-graph cost agrees; otherwise revert that
-  // family to the universal data-parallel fallback. O(families) global
-  // routes — still independent of the per-family candidate counts.
-  result.routed = sharding::route_plan(tg, plan, &table);
-  result.nodes_visited += static_cast<std::int64_t>(tg.num_nodes());
-  double current_cost = result.routed.valid
-                            ? global_cost(tg, result.routed, opts, table)
-                            : 1e30;
-  ++result.cost_queries;
-  for (const SubgraphFamily& family : result.pruning.families) {
-    bool weighted = false;
-    for (ir::GraphNodeId id : family.member_nodes)
-      weighted |= tg.node(id).has_weight();
-    if (!weighted) continue;
-    ShardingPlan reverted = plan;
-    sharding::apply_family_choice(
-        family, std::vector<int>(family.member_nodes.size(), 0), &reverted);
-    auto routed = sharding::route_plan(tg, reverted, &table);
-    result.nodes_visited += static_cast<std::int64_t>(tg.num_nodes());
-    if (!routed.valid) continue;
-    ++result.cost_queries;
-    const double c = global_cost(tg, routed, opts, table);
-    if (c < current_cost) {
-      current_cost = c;
-      plan = std::move(reverted);
-      result.routed = std::move(routed);
-    }
-  }
-  if (!result.routed.valid) {
-    // Assembly never produced a routable plan: fall back to pure DP.
-    plan = sharding::default_plan(tg, opts.num_shards, opts.dp_replicas);
-    result.routed = sharding::route_plan(tg, plan, &table);
-  }
-  TAP_CHECK(result.routed.valid) << result.routed.error;
-  result.best_plan = std::move(plan);
-  {
-    cost::CostOptions copts = opts.cost;
-    copts.overlap_window_s = cost::backward_compute_window(
-        tg, result.routed, nullptr, opts.num_shards, opts.cluster, &table);
-    result.cost = cost::comm_cost(result.routed, opts.num_shards,
-                                  opts.cluster, copts);
-  }
-  ++result.cost_queries;
-  result.search_seconds = sw.elapsed_seconds();
-  return result;
+  return run_standard(tg, opts, nullptr);
 }
 
 TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
                                   const TapOptions& opts) {
+  util::Stopwatch sw;
   const int world = opts.cluster.world();
+  std::vector<int> tps;
+  for (int tp = 1; tp <= world; ++tp) {
+    if (world % tp == 0) tps.push_back(tp);
+  }
+  TAP_CHECK(!tps.empty());
+
+  // Pruning is mesh-independent (Algorithm 1 only inspects names and
+  // structure), so run it ONCE and share it across factorizations. The
+  // PatternTable, by contrast, must be rebuilt per mesh: patterns_for
+  // filters by divisibility against num_shards and gates the batch-split
+  // "dp" pattern on batch % (dp·tp) == 0. The per-pass timers
+  // (TapResult::pass_timings) confirm the split: Prune dominates table
+  // construction by an order of magnitude on the T5 workloads, so the
+  // sweep now pays it once instead of |factorizations| times.
+  const pruning::PruneResult shared_pruning =
+      pruning::prune_graph(tg, opts.prune);
+
+  // Warm the TapGraph's lazily-built caches before fanning out (the
+  // per-mesh pipelines read them concurrently).
+  (void)tg.cached_topo_order();
+  if (tg.num_nodes() > 0) (void)tg.consumers(tg.nodes().front().id);
+
+  // The factorizations are the parallel axis; each inner pipeline runs its
+  // family search sequentially to avoid nested oversubscription. A
+  // single-factorization world keeps the inner parallelism instead.
+  std::vector<TapResult> results(tps.size());
+  util::ThreadPool pool(tps.size() > 1 ? opts.threads : 1);
+  pool.parallel_for(tps.size(), [&](std::size_t i) {
+    TapOptions mesh_opts = opts;
+    mesh_opts.num_shards = tps[i];
+    mesh_opts.dp_replicas = world / tps[i];
+    if (tps.size() > 1) mesh_opts.threads = 1;
+    results[i] = run_standard(tg, mesh_opts, &shared_pruning);
+  });
+
+  // Deterministic join: aggregate statistics and pick the winner in mesh
+  // index order — equal-cost ties resolve to the smaller tp (the seed
+  // iteration order), never to completion order.
   TapResult best;
   bool have = false;
-  double best_cost = 0.0;
-  // Aggregate search statistics across the whole sweep.
+  double best_cost = kInvalidPlanCost;
   std::int64_t candidates = 0, valid = 0, visited = 0, queries = 0;
-  double seconds = 0.0;
-  for (int tp = 1; tp <= world; ++tp) {
-    if (world % tp != 0) continue;
-    TapOptions mesh_opts = opts;
-    mesh_opts.num_shards = tp;
-    mesh_opts.dp_replicas = world / tp;
-    TapResult r = auto_parallel(tg, mesh_opts);
+  for (TapResult& r : results) {
     candidates += r.candidate_plans;
     valid += r.valid_plans;
     visited += r.nodes_visited;
     queries += r.cost_queries;
-    seconds += r.search_seconds;
     if (!r.routed.valid) continue;
     const double c = r.cost.total();
     if (!have || c < best_cost) {
@@ -258,7 +109,7 @@ TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
   best.valid_plans = valid;
   best.nodes_visited = visited;
   best.cost_queries = queries;
-  best.search_seconds = seconds;
+  best.search_seconds = sw.elapsed_seconds();
   return best;
 }
 

@@ -1,4 +1,4 @@
-// tap::auto_parallel — the end-to-end TAP pipeline (Fig. 5):
+// tap::auto_parallel — the end-to-end TAP planner (Fig. 5):
 //   ① lower the framework graph to the TAP IR (caller does this once),
 //   ② prune the search space with shared subgraphs (Algorithm 1),
 //   ③ enumerate candidate plans per unique subgraph (Algorithm 2),
@@ -7,35 +7,22 @@
 //   ⑤ assemble the per-family winners into the full plan, route it over
 //      the whole graph, and hand it to graph rewriting.
 //
+// Steps ②–⑤ are implemented as an explicit PlannerPipeline of passes
+// (core/planner_pipeline.h) over a shared PlanContext: BuildPatternTable →
+// Prune → FamilySearch → GlobalRefine → FinalizeCost. auto_parallel runs
+// the standard pipeline; callers needing a different search strategy or a
+// pipeline prefix assemble their own (the baselines do exactly that).
+//
 // The search statistics (candidates examined, nodes visited, cost queries,
 // wall time) back the complexity claims of Table 2 and the search-time
-// experiments of Figs. 9/10.
+// experiments of Figs. 9/10; the per-pass timings back Fig. 6-style
+// breakdowns of where search time goes.
 #pragma once
 
-#include "cost/cost_model.h"
+#include "core/plan_context.h"
 #include "ir/lowering.h"
-#include "pruning/prune.h"
-#include "sharding/enumerate.h"
-#include "sharding/routing.h"
 
 namespace tap::core {
-
-struct TapOptions {
-  /// Tensor-parallel group size (mesh inner dimension).
-  int num_shards = 8;
-  /// Data-parallel replicas around each tp group (mesh outer dimension,
-  /// the paper's `mesh = [2, 8]` Example 1). dp x tp must equal the device
-  /// world you intend to use.
-  int dp_replicas = 1;
-  cost::ClusterSpec cluster = cost::ClusterSpec::v100_node();
-  pruning::PruneOptions prune;
-  cost::CostOptions cost;
-  /// Families whose Cartesian product exceeds this fall back to per-node
-  /// greedy selection. A T5 encoder block enumerates 3^6 = 729 exhaustive
-  /// candidates (§6.3.1); a decoder block (10 projections, 3^10) switches
-  /// to greedy, keeping the total "hundreds of plans" like the paper.
-  std::int64_t max_plans_per_family = 2000;
-};
 
 struct TapResult {
   sharding::ShardingPlan best_plan;
@@ -49,6 +36,9 @@ struct TapResult {
   std::int64_t nodes_visited = 0;
   std::int64_t cost_queries = 0;
   double search_seconds = 0.0;
+  /// Per-pass wall times of the pipeline run that produced this result
+  /// (the winning factorization's, for auto_parallel_best_mesh).
+  std::vector<PassTiming> pass_timings;
 };
 
 /// Derives the best tensor/data parallel plan for `tg` (Algorithm 2).
@@ -58,6 +48,9 @@ TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts);
 /// `opts.cluster.world()` and returns the cheapest — the mesh sweep behind
 /// the paper's `tap.split(mesh)` front-end. `opts.num_shards`/`dp_replicas`
 /// are ignored; the winning mesh is reported in the result's plan fields.
+/// Pruning runs once (it is mesh-independent) and the factorizations are
+/// searched concurrently on `opts.threads` workers; ties between equal-cost
+/// meshes resolve to the smaller tp, never to completion order.
 TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
                                   const TapOptions& opts);
 

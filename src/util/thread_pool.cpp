@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace tap::util {
+
+int ThreadPool::resolve(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(resolve(threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ > 0 ? threads_ - 1 : 0));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+      ++batch->active;
+    }
+    run_batch(*batch);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      --batch->active;
+      if (batch->done == batch->n && batch->active == 0)
+        done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    std::exception_ptr err;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(m_);
+    if (err && (!batch.error || i < batch.error_index)) {
+      batch.error = err;
+      batch.error_index = i;
+    }
+    if (++batch.done == batch.n) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || workers_.empty() || n == 1) {
+    // Sequential degenerate case: exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    TAP_CHECK(batch_ == nullptr) << "parallel_for is not reentrant";
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_batch(batch);
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock,
+                  [&] { return batch.done == batch.n && batch.active == 0; });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace tap::util

@@ -1,0 +1,77 @@
+// util::ThreadPool — a small fixed-size worker pool for the planner's
+// embarrassingly-parallel loops (the per-family search and the (dp, tp)
+// mesh sweep, see core/planner_pipeline.h).
+//
+// Design constraints:
+//   * deterministic results: parallel_for only hands out indices; callers
+//     keep one output slot per index and merge them in index order after
+//     the join, so the outcome never depends on scheduling;
+//   * `threads <= 1` degenerates to a plain sequential loop on the calling
+//     thread — no threading machinery at all, the exact single-threaded
+//     behaviour;
+//   * exceptions thrown by tasks (TAP_CHECK throws CheckError) are
+//     captured, every remaining index still runs, and the lowest-index
+//     failure is rethrown on the calling thread after the join — again
+//     independent of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tap::util {
+
+class ThreadPool {
+ public:
+  /// `threads <= 0` selects hardware_concurrency(). The pool spawns
+  /// `threads - 1` workers; the thread calling parallel_for participates.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  int size() const { return threads_; }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and blocks until every index
+  /// completed. fn must be safe to call concurrently for distinct indices.
+  /// Not reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Resolves a thread-count option: <= 0 -> hardware_concurrency()
+  /// (at least 1), otherwise the requested value.
+  static int resolve(int requested);
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;     ///< completed indices (guarded by m_)
+    int active = 0;           ///< workers inside run_batch (guarded by m_)
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+
+  void worker_loop();
+  void run_batch(Batch& batch);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable work_cv_;  ///< workers wait for a new batch
+  std::condition_variable done_cv_;  ///< caller waits for completion
+  Batch* batch_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tap::util

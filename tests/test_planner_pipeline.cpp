@@ -1,0 +1,197 @@
+// PlannerPipeline — pass sequencing, pluggable search policies, and the
+// determinism contract of the parallel family/mesh search (plans, costs
+// and statistics must be bit-identical at every thread count).
+#include "core/planner_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tap.h"
+#include "models/models.h"
+
+namespace tap::core {
+namespace {
+
+struct Fixture {
+  Graph g;
+  ir::TapGraph tg;
+  explicit Fixture(Graph graph) : g(std::move(graph)), tg(ir::lower(g)) {}
+};
+
+Fixture t5(int layers) {
+  return Fixture(models::build_transformer(models::t5_with_layers(layers)));
+}
+
+Fixture moe(int layers) {
+  models::MoeConfig cfg = models::widenet();
+  cfg.num_layers = layers;
+  return Fixture(models::build_moe_transformer(cfg));
+}
+
+void expect_identical(const TapResult& a, const TapResult& b) {
+  EXPECT_EQ(a.best_plan.num_shards, b.best_plan.num_shards);
+  EXPECT_EQ(a.best_plan.dp_replicas, b.best_plan.dp_replicas);
+  EXPECT_EQ(a.best_plan.choice, b.best_plan.choice);
+  EXPECT_EQ(a.cost.total(), b.cost.total());  // bit-identical, not approx
+  EXPECT_EQ(a.candidate_plans, b.candidate_plans);
+  EXPECT_EQ(a.valid_plans, b.valid_plans);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.cost_queries, b.cost_queries);
+}
+
+TEST(PlannerPipeline, StandardPassSequence) {
+  PlannerPipeline p = PlannerPipeline::standard();
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.pass(0).name(), "BuildPatternTable");
+  EXPECT_EQ(p.pass(1).name(), "Prune");
+  EXPECT_EQ(p.pass(2).name(), "FamilySearch");
+  EXPECT_EQ(p.pass(3).name(), "GlobalRefine");
+  EXPECT_EQ(p.pass(4).name(), "FinalizeCost");
+}
+
+TEST(PlannerPipeline, RecordsOneTimingPerPass) {
+  Fixture f = t5(2);
+  TapOptions opts;
+  opts.num_shards = 8;
+  TapResult r = auto_parallel(f.tg, opts);
+  ASSERT_EQ(r.pass_timings.size(), 5u);
+  EXPECT_EQ(r.pass_timings[0].pass, "BuildPatternTable");
+  EXPECT_EQ(r.pass_timings[2].pass, "FamilySearch");
+  double sum = 0.0;
+  for (const auto& t : r.pass_timings) {
+    EXPECT_GE(t.seconds, 0.0);
+    sum += t.seconds;
+  }
+  EXPECT_LE(sum, r.search_seconds + 1e-3);
+  EXPECT_EQ(r.pass_timings.size(), 5u);
+}
+
+TEST(PlannerPipeline, RunPrefixStopsAfterRequestedPass) {
+  Fixture f = t5(2);
+  TapOptions opts;
+  opts.num_shards = 8;
+  PlanContext ctx;
+  ctx.tg = &f.tg;
+  ctx.opts = opts;
+  PlannerPipeline p = PlannerPipeline::standard();
+  p.run_prefix(ctx, 2);  // BuildPatternTable + Prune only
+  EXPECT_TRUE(ctx.table.has_value());
+  EXPECT_FALSE(ctx.pruning.families.empty());
+  EXPECT_TRUE(ctx.plan.empty());  // FamilySearch has not run
+  ASSERT_EQ(ctx.timings.size(), 2u);
+  EXPECT_EQ(ctx.timings[0].pass, "BuildPatternTable");
+  EXPECT_EQ(ctx.timings[1].pass, "Prune");
+}
+
+TEST(PlannerPipeline, SingleFamilyPassCoversWholeGraph) {
+  Fixture f = t5(2);
+  PlanContext ctx;
+  ctx.tg = &f.tg;
+  ctx.opts.num_shards = 8;
+  BuildPatternTablePass().run(ctx);
+  SingleFamilyPass().run(ctx);
+  ASSERT_EQ(ctx.pruning.families.size(), 1u);
+  EXPECT_EQ(ctx.pruning.families[0].member_nodes.size(), f.tg.num_nodes());
+  EXPECT_EQ(ctx.pruning.families[0].instances.size(), 1u);
+}
+
+TEST(FamilySearchPolicy, GreedyFallbackWhenProductOverflowsBudget) {
+  // AutoPolicy: when a family's Cartesian product exceeds
+  // max_plans_per_family, candidate counts drop from the product to the
+  // per-member sum — and the plan must still route.
+  Fixture f = t5(2);
+  TapOptions opts;
+  opts.num_shards = 8;
+  TapResult exhaustive = auto_parallel(f.tg, opts);
+
+  TapOptions tiny = opts;
+  tiny.max_plans_per_family = 4;  // below every weighted family's product
+  TapResult greedy = auto_parallel(f.tg, tiny);
+
+  EXPECT_TRUE(greedy.routed.valid) << greedy.routed.error;
+  EXPECT_LT(greedy.candidate_plans, exhaustive.candidate_plans);
+  EXPECT_GT(greedy.candidate_plans, 0);
+  // The greedy plan can be worse, never invalid.
+  EXPECT_GT(greedy.cost.total(), 0.0);
+}
+
+TEST(FamilySearchPolicy, ExplicitPoliciesDriveTheSamePipeline) {
+  Fixture f = t5(2);
+  TapOptions opts;
+  opts.num_shards = 8;
+
+  PlanContext ex_ctx;
+  ex_ctx.tg = &f.tg;
+  ex_ctx.opts = opts;
+  PlannerPipeline::standard(std::make_shared<ExhaustivePolicy>()).run(ex_ctx);
+  EXPECT_TRUE(ex_ctx.routed.valid);
+
+  PlanContext gr_ctx;
+  gr_ctx.tg = &f.tg;
+  gr_ctx.opts = opts;
+  PlannerPipeline::standard(std::make_shared<GreedyPolicy>()).run(gr_ctx);
+  EXPECT_TRUE(gr_ctx.routed.valid);
+
+  // Greedy examines the per-member sum, exhaustive the product.
+  EXPECT_LT(gr_ctx.stats.candidate_plans, ex_ctx.stats.candidate_plans);
+  // Exhaustive can only be at least as good.
+  EXPECT_LE(ex_ctx.cost.total(), gr_ctx.cost.total() * (1.0 + 1e-9));
+}
+
+TEST(ParallelSearch, ThreadsDoNotChangeT5Results) {
+  Fixture f = t5(4);
+  TapOptions seq;
+  seq.num_shards = 8;
+  seq.threads = 1;
+  TapOptions par = seq;
+  par.threads = 4;
+  expect_identical(auto_parallel(f.tg, seq), auto_parallel(f.tg, par));
+}
+
+TEST(ParallelSearch, ThreadsDoNotChangeMoEResults) {
+  Fixture f = moe(4);
+  TapOptions seq;
+  seq.num_shards = 8;
+  seq.threads = 1;
+  TapOptions par = seq;
+  par.threads = 4;
+  expect_identical(auto_parallel(f.tg, seq), auto_parallel(f.tg, par));
+}
+
+TEST(ParallelSearch, ThreadsDoNotChangeBestMeshSweep) {
+  // The (dp, tp) sweep parallelizes across factorizations; the winner and
+  // the aggregated statistics must match the sequential sweep exactly
+  // (ties resolve by mesh index, never completion order).
+  auto check = [](const Fixture& f) {
+    TapOptions seq;
+    seq.cluster = cost::ClusterSpec::v100_cluster(2);
+    seq.threads = 1;
+    TapOptions par = seq;
+    par.threads = 4;
+    expect_identical(auto_parallel_best_mesh(f.tg, seq),
+                     auto_parallel_best_mesh(f.tg, par));
+  };
+  Fixture a = t5(2);
+  check(a);
+  Fixture b = moe(2);
+  check(b);
+}
+
+TEST(ParallelSearch, AutoThreadsMatchSequentialToo) {
+  Fixture f = t5(2);
+  TapOptions seq;
+  seq.num_shards = 8;
+  seq.threads = 1;
+  TapOptions par = seq;
+  par.threads = 0;  // hardware_concurrency
+  expect_identical(auto_parallel(f.tg, seq), auto_parallel(f.tg, par));
+}
+
+TEST(InvalidCost, SentinelOrdersAfterEveryRealCost) {
+  EXPECT_TRUE(std::isinf(kInvalidPlanCost));
+  EXPECT_GT(kInvalidPlanCost, 1e300);
+}
+
+}  // namespace
+}  // namespace tap::core

@@ -178,7 +178,9 @@ TEST(Robustness, NamesWithManyComponentsPrune) {
 class ZooEndToEnd : public ::testing::TestWithParam<int> {};
 
 TEST_P(ZooEndToEnd, PlansValidateAndSimulate) {
-  const auto& entry =
+  // table1_zoo() returns by value: copy the entry, a reference would
+  // dangle once the temporary vector is destroyed.
+  const models::ZooEntry entry =
       models::table1_zoo()[static_cast<std::size_t>(GetParam())];
   SCOPED_TRACE(entry.model);
   Graph g = entry.build();

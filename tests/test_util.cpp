@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace tap::util {
 namespace {
@@ -135,6 +140,66 @@ TEST(Table, PadsShortRows) {
 TEST(Fmt, FormatsDoubles) {
   EXPECT_EQ(fmt("%.2f", 3.14159), "3.14");
   EXPECT_EQ(fmt("%.0fx", 12.7), "13x");
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  // threads=1 must be a plain sequential loop on the calling thread.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DeterministicMergeInIndexOrder) {
+  // The planner's contract: one output slot per index, merged after the
+  // join — the result never depends on scheduling.
+  ThreadPool pool(8);
+  std::vector<int> out(257, 0);
+  pool.parallel_for(out.size(),
+                    [&](std::size_t i) { out[i] = static_cast<int>(i) * 3; });
+  int sum = std::accumulate(out.begin(), out.end(), 0);
+  EXPECT_EQ(sum, 3 * 256 * 257 / 2);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 7 || i == 63)
+        throw std::runtime_error("boom " + std::to_string(i));
+      ++completed;
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");  // lowest index wins, not first-done
+  }
+  // Every non-throwing index still ran.
+  EXPECT_EQ(completed.load(), 98);
+  // The pool survives the failure and stays usable.
+  std::atomic<int> again{0};
+  pool.parallel_for(10, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPool, ResolvePicksHardwareConcurrencyForAuto) {
+  EXPECT_GE(ThreadPool::resolve(0), 1);
+  EXPECT_GE(ThreadPool::resolve(-3), 1);
+  EXPECT_EQ(ThreadPool::resolve(5), 5);
 }
 
 }  // namespace
