@@ -9,6 +9,10 @@
 //           [--amp] [--recompute] [--zero1]   training techniques (§4.8)
 //           [--xla]                           fusion pass (Fig. 8)
 //           [--save-plan FILE] [--load-plan FILE]
+//           [--cache-dir DIR]                 plan-cache disk tier: serve
+//                                             repeat invocations from DIR
+//                                             instead of re-searching
+//           [--no-cache]                      bypass the PlannerService
 //           [--trace FILE]                    chrome://tracing JSON
 //           [--viz]                           print the plan (Fig. 14 style)
 //
@@ -25,6 +29,7 @@
 #include "core/visualize.h"
 #include "ir/lowering.h"
 #include "models/models.h"
+#include "service/planner_service.h"
 #include "sim/simulator.h"
 #include "util/strings.h"
 
@@ -41,7 +46,8 @@ struct Args {
   int threads = 1;
   int pipeline = 1;
   bool amp = false, recompute = false, zero1 = false, xla = false, viz = false;
-  std::string save_plan, load_plan, trace_path;
+  bool no_cache = false;
+  std::string save_plan, load_plan, trace_path, cache_dir;
 };
 
 bool parse(int argc, char** argv, Args* a) {
@@ -87,6 +93,10 @@ bool parse(int argc, char** argv, Args* a) {
       a->save_plan = v;
     } else if (!std::strcmp(f, "--load-plan") && (v = need_value(i))) {
       a->load_plan = v;
+    } else if (!std::strcmp(f, "--cache-dir") && (v = need_value(i))) {
+      a->cache_dir = v;
+    } else if (!std::strcmp(f, "--no-cache")) {
+      a->no_cache = true;
     } else if (!std::strcmp(f, "--trace") && (v = need_value(i))) {
       a->trace_path = v;
     } else {
@@ -184,17 +194,40 @@ int main(int argc, char** argv) {
     std::printf("pipeline: %d stages, bottleneck %.0f%%, bubble %.0f%%\n",
                 piped.stages, piped.bottleneck_fraction * 100.0,
                 piped.bubble_fraction * 100.0);
-  } else if (args.mesh == "auto") {
-    result = core::auto_parallel_best_mesh(tg, opts);
   } else {
-    int dp = 1, tp = 1;
-    if (std::sscanf(args.mesh.c_str(), "%dx%d", &dp, &tp) != 2) {
-      std::cerr << "bad --mesh (want DPxTP or auto)\n";
-      return 2;
+    const bool sweep = args.mesh == "auto";
+    if (!sweep) {
+      int dp = 1, tp = 1;
+      if (std::sscanf(args.mesh.c_str(), "%dx%d", &dp, &tp) != 2) {
+        std::cerr << "bad --mesh (want DPxTP or auto)\n";
+        return 2;
+      }
+      opts.dp_replicas = dp;
+      opts.num_shards = tp;
     }
-    opts.dp_replicas = dp;
-    opts.num_shards = tp;
-    result = core::auto_parallel(tg, opts);
+    if (!args.cache_dir.empty() && !args.no_cache) {
+      // Route through the PlannerService so a repeat invocation for the
+      // same architecture + cluster is served from --cache-dir (the result
+      // is bit-identical to a direct search by construction).
+      service::ServiceOptions sopts;
+      sopts.cache.disk_dir = args.cache_dir;
+      service::PlannerService svc(sopts);
+      result = svc.plan({&tg, opts, sweep});
+      const auto cs = svc.cache_stats();
+      const auto ss = svc.stats();
+      std::printf("cache: %s (%s), key %s, families reused %llu\n",
+                  cs.memory_hits + cs.disk_hits > 0 ? "hit" : "miss",
+                  cs.disk_hits > 0      ? "disk"
+                  : cs.memory_hits > 0  ? "memory"
+                  : cs.disk_rejects > 0 ? "stale file rejected"
+                                        : "searched",
+                  svc.key_for({&tg, opts, sweep}).to_hex().c_str(),
+                  static_cast<unsigned long long>(ss.family_hits));
+    } else if (sweep) {
+      result = core::auto_parallel_best_mesh(tg, opts);
+    } else {
+      result = core::auto_parallel(tg, opts);
+    }
   }
 
   std::printf("plan: mesh %s, %lld candidates examined in %.1f ms, comm "

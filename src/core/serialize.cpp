@@ -1,6 +1,8 @@
 #include "core/serialize.h"
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/check.h"
@@ -65,6 +67,24 @@ class Parser {
       ++pos_;
     TAP_CHECK(pos_ > start) << "plan JSON: expected integer at " << start;
     return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  double double_value() {
+    skip_ws();
+    std::size_t start = pos_;
+    auto is_num_char = [](char c) {
+      return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+             c == '+' || c == '.' || c == 'e' || c == 'E' || c == 'i' ||
+             c == 'n' || c == 'f';  // inf: kInvalidPlanCost round-trips
+    };
+    while (pos_ < text_.size() && is_num_char(text_[pos_])) ++pos_;
+    TAP_CHECK(pos_ > start) << "plan JSON: expected number at " << start;
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    TAP_CHECK(end == tok.c_str() + tok.size())
+        << "plan JSON: bad number '" << tok << "'";
+    return v;
   }
 
   void done() {
@@ -169,6 +189,139 @@ sharding::ShardingPlan plan_from_json(const ir::TapGraph& tg,
   TAP_CHECK(have_mesh) << "plan JSON: missing \"mesh\"";
   TAP_CHECK(!plan.choice.empty()) << "plan JSON: missing \"assignments\"";
   return plan;
+}
+
+namespace {
+
+/// Shortest exact representation: 17 significant digits round-trip every
+/// finite double bit-identically through strtod.
+std::string exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string plan_record_to_json(const ir::TapGraph& tg,
+                                const PlanRecord& record) {
+  TAP_CHECK_EQ(record.plan.choice.size(), tg.num_nodes())
+      << "record does not cover the graph";
+  std::ostringstream os;
+  os << "{\n  \"version\": " << kPlanRecordVersion << ",\n  \"mesh\": ["
+     << record.plan.dp_replicas << ", " << record.plan.num_shards
+     << "],\n  \"choice\": [";
+  for (std::size_t i = 0; i < record.plan.choice.size(); ++i)
+    os << (i ? ", " : "") << record.plan.choice[i];
+  os << "],\n  \"cost\": [" << exact(record.cost.forward_comm_s) << ", "
+     << exact(record.cost.backward_comm_s) << ", "
+     << exact(record.cost.overlappable_comm_s) << ", "
+     << record.cost.comm_bytes << "],\n  \"stats\": ["
+     << record.stats.candidate_plans << ", " << record.stats.valid_plans
+     << ", " << record.stats.nodes_visited << ", "
+     << record.stats.cost_queries << "],\n  \"timings\": [";
+  for (std::size_t i = 0; i < record.timings.size(); ++i) {
+    os << (i ? ", " : "") << "[\"" << escape(record.timings[i].pass)
+       << "\", " << exact(record.timings[i].seconds) << "]";
+  }
+  os << "],\n  \"search_seconds\": " << exact(record.search_seconds)
+     << "\n}\n";
+  return os.str();
+}
+
+PlanRecord plan_record_from_json(const ir::TapGraph& tg,
+                                 const std::string& json) {
+  Parser p(json);
+  PlanRecord record;
+  p.expect('{');
+
+  // Version gate FIRST: a mismatch (or any malformation before it) must
+  // reject the payload before anything else is interpreted.
+  TAP_CHECK(p.string_value() == "version")
+      << "plan record: \"version\" must be the first key";
+  p.expect(':');
+  const long long version = p.int_value();
+  TAP_CHECK_EQ(version, kPlanRecordVersion)
+      << "plan record written by incompatible code";
+
+  auto key = [&](const char* want) {
+    p.expect(',');
+    TAP_CHECK(p.string_value() == want)
+        << "plan record: expected key \"" << want << "\"";
+    p.expect(':');
+  };
+
+  key("mesh");
+  p.expect('[');
+  record.plan.dp_replicas = static_cast<int>(p.int_value());
+  p.expect(',');
+  record.plan.num_shards = static_cast<int>(p.int_value());
+  p.expect(']');
+  TAP_CHECK_GE(record.plan.dp_replicas, 1);
+  TAP_CHECK_GE(record.plan.num_shards, 1);
+
+  key("choice");
+  p.expect('[');
+  if (!p.try_consume(']')) {
+    do {
+      record.plan.choice.push_back(static_cast<int>(p.int_value()));
+    } while (p.try_consume(','));
+    p.expect(']');
+  }
+  TAP_CHECK_EQ(record.plan.choice.size(), tg.num_nodes())
+      << "plan record does not match the graph";
+  for (const auto& n : tg.nodes()) {
+    const int c = record.plan.choice[static_cast<std::size_t>(n.id)];
+    const auto pats = sharding::patterns_for(
+        tg, n.id, record.plan.num_shards, record.plan.dp_replicas);
+    TAP_CHECK(c >= 0 && c < static_cast<int>(pats.size()))
+        << "plan record: choice " << c << " out of range for '" << n.name
+        << "'";
+  }
+
+  key("cost");
+  p.expect('[');
+  record.cost.forward_comm_s = p.double_value();
+  p.expect(',');
+  record.cost.backward_comm_s = p.double_value();
+  p.expect(',');
+  record.cost.overlappable_comm_s = p.double_value();
+  p.expect(',');
+  record.cost.comm_bytes = p.int_value();
+  p.expect(']');
+
+  key("stats");
+  p.expect('[');
+  record.stats.candidate_plans = p.int_value();
+  p.expect(',');
+  record.stats.valid_plans = p.int_value();
+  p.expect(',');
+  record.stats.nodes_visited = p.int_value();
+  p.expect(',');
+  record.stats.cost_queries = p.int_value();
+  p.expect(']');
+
+  key("timings");
+  p.expect('[');
+  if (!p.try_consume(']')) {
+    do {
+      p.expect('[');
+      PassTiming t;
+      t.pass = p.string_value();
+      p.expect(',');
+      t.seconds = p.double_value();
+      p.expect(']');
+      record.timings.push_back(std::move(t));
+    } while (p.try_consume(','));
+    p.expect(']');
+  }
+
+  key("search_seconds");
+  record.search_seconds = p.double_value();
+
+  p.expect('}');
+  p.done();
+  return record;
 }
 
 }  // namespace tap::core

@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "core/plan_context.h"
 #include "sharding/plan.h"
 
 namespace tap::core {
@@ -29,5 +30,48 @@ std::string plan_to_json(const ir::TapGraph& tg,
 /// pattern 0 (the data-parallel/replicate default).
 sharding::ShardingPlan plan_from_json(const ir::TapGraph& tg,
                                       const std::string& json);
+
+// ---------------------------------------------------------------------------
+// PlanRecord — the on-disk payload of the service plan cache
+// ---------------------------------------------------------------------------
+//
+// A PlanRecord captures everything the PlannerService must return on a
+// cache hit to be bit-identical to a cold search: the pattern choices, the
+// final cost, the search statistics, and the per-pass timings of the run
+// that produced the plan. Unlike the by-name plan JSON above (which is
+// meant to be hand-editable and applied across rebuilds), the record
+// stores pattern choices positionally (one index per GraphNodeId) — a
+// cache hit already guarantees a structurally identical graph with
+// identical deterministic node ids, and positional storage keeps renamed
+// but structurally equal graphs servable. Doubles are written with 17
+// significant digits, so every value round-trips exactly.
+//
+// The format is versioned: `version` is the FIRST key and readers reject
+// any mismatch before touching the rest of the payload, so cache files
+// written by older code are discarded, never misinterpreted.
+
+/// Bump whenever PlanRecord's layout OR any planning semantics change
+/// (pattern catalog, cost model, search order) — stale plans must miss.
+inline constexpr int kPlanRecordVersion = 1;
+
+struct PlanRecord {
+  sharding::ShardingPlan plan;
+  cost::PlanCost cost;
+  SearchStats stats;
+  std::vector<PassTiming> timings;
+  /// Wall time of the cold search that produced the plan.
+  double search_seconds = 0.0;
+};
+
+/// Serializes `record` (validated against `tg`: one choice per GraphNode).
+std::string plan_record_to_json(const ir::TapGraph& tg,
+                                const PlanRecord& record);
+
+/// Parses a record and validates it against `tg`: version must equal
+/// kPlanRecordVersion, the choice vector must cover every GraphNode, and
+/// every index must select an applicable pattern under the record's mesh.
+/// Throws CheckError otherwise.
+PlanRecord plan_record_from_json(const ir::TapGraph& tg,
+                                 const std::string& json);
 
 }  // namespace tap::core

@@ -27,26 +27,31 @@ TapResult context_to_result(PlanContext&& ctx, double elapsed_seconds) {
 }
 
 TapResult run_standard(const ir::TapGraph& tg, const TapOptions& opts,
-                       const pruning::PruneResult* shared_pruning) {
+                       const pruning::PruneResult* shared_pruning,
+                       const std::shared_ptr<const FamilySearchPolicy>&
+                           policy) {
   util::Stopwatch sw;
   PlanContext ctx;
   ctx.tg = &tg;
   ctx.opts = opts;
   ctx.shared_pruning = shared_pruning;
-  PlannerPipeline::standard().run(ctx);
+  PlannerPipeline::standard(policy).run(ctx);
   return context_to_result(std::move(ctx), sw.elapsed_seconds());
 }
 
 }  // namespace
 
-TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts) {
+TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts,
+                        std::shared_ptr<const FamilySearchPolicy> policy) {
   TAP_CHECK_GE(opts.num_shards, 1);
   TAP_CHECK_GE(opts.dp_replicas, 1);
-  return run_standard(tg, opts, nullptr);
+  return run_standard(tg, opts, nullptr, policy);
 }
 
 TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
-                                  const TapOptions& opts) {
+                                  const TapOptions& opts,
+                                  std::shared_ptr<const FamilySearchPolicy>
+                                      policy) {
   util::Stopwatch sw;
   const int world = opts.cluster.world();
   std::vector<int> tps;
@@ -81,7 +86,7 @@ TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
     mesh_opts.num_shards = tps[i];
     mesh_opts.dp_replicas = world / tps[i];
     if (tps.size() > 1) mesh_opts.threads = 1;
-    results[i] = run_standard(tg, mesh_opts, &shared_pruning);
+    results[i] = run_standard(tg, mesh_opts, &shared_pruning, policy);
   });
 
   // Deterministic join: aggregate statistics and pick the winner in mesh

@@ -19,6 +19,9 @@
 // breakdowns of where search time goes.
 #pragma once
 
+#include <memory>
+
+#include "core/family_search.h"
 #include "core/plan_context.h"
 #include "ir/lowering.h"
 
@@ -42,7 +45,12 @@ struct TapResult {
 };
 
 /// Derives the best tensor/data parallel plan for `tg` (Algorithm 2).
-TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts);
+/// `policy` selects the family-search strategy for the standard pipeline;
+/// nullptr = the default AutoPolicy. The PlannerService passes its
+/// family-memoizing policy here (src/service/planner_service.h).
+TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts,
+                        std::shared_ptr<const FamilySearchPolicy> policy =
+                            nullptr);
 
 /// Runs auto_parallel over every (dp, tp) factorization of
 /// `opts.cluster.world()` and returns the cheapest — the mesh sweep behind
@@ -50,8 +58,11 @@ TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts);
 /// are ignored; the winning mesh is reported in the result's plan fields.
 /// Pruning runs once (it is mesh-independent) and the factorizations are
 /// searched concurrently on `opts.threads` workers; ties between equal-cost
-/// meshes resolve to the smaller tp, never to completion order.
+/// meshes resolve to the smaller tp, never to completion order. `policy`
+/// as in auto_parallel (it must be thread-safe: the sweep shares it).
 TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
-                                  const TapOptions& opts);
+                                  const TapOptions& opts,
+                                  std::shared_ptr<const FamilySearchPolicy>
+                                      policy = nullptr);
 
 }  // namespace tap::core

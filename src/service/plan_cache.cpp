@@ -1,0 +1,145 @@
+#include "service/plan_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tap::service {
+
+namespace fs = std::filesystem;
+
+PlanCache::PlanCache(PlanCacheOptions opts) : opts_(std::move(opts)) {
+  TAP_CHECK_GE(opts_.stripes, 1);
+  TAP_CHECK_GE(opts_.capacity, 1u);
+  const auto stripes = static_cast<std::size_t>(opts_.stripes);
+  // Per-stripe budget; at least one entry each so a tiny capacity still
+  // caches something in every stripe.
+  stripe_capacity_ = std::max<std::size_t>(1, opts_.capacity / stripes);
+  stripes_ = std::vector<Stripe>(stripes);
+  if (!opts_.disk_dir.empty()) fs::create_directories(opts_.disk_dir);
+}
+
+PlanCache::Stripe& PlanCache::stripe_for(const PlanKey& key) {
+  return stripes_[key.digest() % stripes_.size()];
+}
+
+std::optional<core::PlanRecord> PlanCache::memory_lookup(const PlanKey& key) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) return std::nullopt;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+  return it->second->second;
+}
+
+void PlanCache::memory_insert(const PlanKey& key,
+                              const core::PlanRecord& record) {
+  Stripe& s = stripe_for(key);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = record;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+    } else {
+      s.lru.emplace_front(key, record);
+      s.index.emplace(key, s.lru.begin());
+      while (s.lru.size() > stripe_capacity_) {
+        s.index.erase(s.lru.back().first);
+        s.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.insertions;
+  stats_.evictions += evicted;
+}
+
+std::string PlanCache::disk_path(const PlanKey& key) const {
+  if (opts_.disk_dir.empty()) return "";
+  return (fs::path(opts_.disk_dir) / (key.to_hex() + ".plan.json"))
+      .string();
+}
+
+std::optional<core::PlanRecord> PlanCache::disk_lookup(
+    const PlanKey& key, const ir::TapGraph& tg) {
+  const std::string path = disk_path(key);
+  if (path.empty()) return std::nullopt;
+  std::ifstream in(path);
+  if (!in) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.disk_misses;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    core::PlanRecord record = core::plan_record_from_json(tg, buf.str());
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.disk_hits;
+    return record;
+  } catch (const CheckError&) {
+    // Stale version, torn write, or hand-damaged file: treat as a miss —
+    // the caller re-searches and the insert overwrites the bad file.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.disk_rejects;
+    return std::nullopt;
+  }
+}
+
+void PlanCache::disk_insert(const PlanKey& key,
+                            const core::PlanRecord& record,
+                            const ir::TapGraph& tg) {
+  const std::string path = disk_path(key);
+  if (path.empty()) return;
+  // Atomic publish: never expose a partially-written file to concurrent
+  // readers (or to the next process after a crash).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // unwritable disk tier degrades to memory-only
+    out << core::plan_record_to_json(tg, record);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.disk_writes;
+}
+
+std::optional<core::PlanRecord> PlanCache::lookup(const PlanKey& key,
+                                                  const ir::TapGraph& tg) {
+  if (auto hit = memory_lookup(key)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.memory_hits;
+    return hit;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.memory_misses;
+  }
+  if (auto hit = disk_lookup(key, tg)) {
+    memory_insert(key, *hit);
+    return hit;
+  }
+  return std::nullopt;
+}
+
+void PlanCache::insert(const PlanKey& key, const core::PlanRecord& record,
+                       const ir::TapGraph& tg) {
+  memory_insert(key, record);
+  disk_insert(key, record, tg);
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace tap::service

@@ -1,0 +1,103 @@
+// PlanCache — the two-tier memoization store behind the PlannerService.
+//
+//   tier 1: a sharded in-memory LRU. Keys stripe across independent
+//           mutex-guarded segments (digest % stripes), so concurrent
+//           requests for different keys never contend on one lock.
+//   tier 2: an optional on-disk store (one JSON file per key under
+//           `disk_dir`, named by the key's version-prefixed hex). Disk
+//           payloads round-trip through core/serialize's PlanRecord, whose
+//           version field is checked BEFORE the body is interpreted: cache
+//           files written by older code (or corrupted on disk) are
+//           rejected and counted, never deserialized into garbage.
+//
+// A disk hit is promoted into the memory tier; an insert writes both
+// tiers (the disk write is atomic: temp file + rename, so a crashed or
+// concurrent writer can never leave a torn file behind).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/serialize.h"
+#include "service/fingerprint.h"
+
+namespace tap::service {
+
+struct PlanCacheOptions {
+  /// Total in-memory entries across all stripes (LRU beyond this).
+  std::size_t capacity = 256;
+  /// Mutex stripes for the memory tier.
+  int stripes = 8;
+  /// Directory of the disk tier; empty = memory-only.
+  std::string disk_dir;
+};
+
+struct PlanCacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t memory_misses = 0;  ///< both-tier lookups that missed tier 1
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;   ///< no file for the key
+  std::uint64_t disk_rejects = 0;  ///< corrupt or version-mismatched file
+  std::uint64_t disk_writes = 0;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions opts = {});
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Memory tier first, then disk. `tg` validates a disk payload against
+  /// the requesting graph. A disk hit is promoted to memory.
+  std::optional<core::PlanRecord> lookup(const PlanKey& key,
+                                         const ir::TapGraph& tg);
+
+  /// Inserts into the memory tier and (when configured) writes the disk
+  /// file atomically.
+  void insert(const PlanKey& key, const core::PlanRecord& record,
+              const ir::TapGraph& tg);
+
+  PlanCacheStats stats() const;
+
+  /// Disk-tier file of `key`, or "" when the cache is memory-only.
+  std::string disk_path(const PlanKey& key) const;
+
+  const PlanCacheOptions& options() const { return opts_; }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<PlanKey, core::PlanRecord>> lru;
+    std::unordered_map<PlanKey,
+                       std::list<std::pair<PlanKey, core::PlanRecord>>::
+                           iterator,
+                       PlanKeyHash>
+        index;
+  };
+
+  Stripe& stripe_for(const PlanKey& key);
+  std::optional<core::PlanRecord> memory_lookup(const PlanKey& key);
+  void memory_insert(const PlanKey& key, const core::PlanRecord& record);
+  std::optional<core::PlanRecord> disk_lookup(const PlanKey& key,
+                                              const ir::TapGraph& tg);
+  void disk_insert(const PlanKey& key, const core::PlanRecord& record,
+                   const ir::TapGraph& tg);
+
+  PlanCacheOptions opts_;
+  std::size_t stripe_capacity_ = 0;
+  std::vector<Stripe> stripes_;
+  mutable std::mutex stats_mu_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace tap::service

@@ -1,0 +1,202 @@
+#include "service/planner_service.h"
+
+#include <utility>
+
+#include "sharding/routing.h"
+#include "util/check.h"
+
+namespace tap::service {
+
+// ---------------------------------------------------------------------------
+// FamilyResultCache
+// ---------------------------------------------------------------------------
+
+FamilyResultCache::FamilyResultCache(int stripes) {
+  TAP_CHECK_GE(stripes, 1);
+  stripes_ = std::vector<Stripe>(static_cast<std::size_t>(stripes));
+}
+
+std::optional<core::FamilySearchOutcome> FamilyResultCache::lookup(
+    const Fingerprint& key) {
+  Stripe& s = stripes_[key.digest() % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1);
+  return it->second;
+}
+
+void FamilyResultCache::insert(const Fingerprint& key,
+                               const core::FamilySearchOutcome& outcome) {
+  Stripe& s = stripes_[key.digest() % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map.emplace(key, outcome);  // first writer wins; equal key => equal value
+}
+
+// ---------------------------------------------------------------------------
+// CachingFamilyPolicy
+// ---------------------------------------------------------------------------
+
+CachingFamilyPolicy::CachingFamilyPolicy(
+    std::shared_ptr<FamilyResultCache> cache,
+    std::shared_ptr<const core::FamilySearchPolicy> inner)
+    : cache_(std::move(cache)), inner_(std::move(inner)) {
+  TAP_CHECK(cache_ != nullptr);
+  if (!inner_) inner_ = std::make_shared<core::AutoPolicy>();
+}
+
+std::string CachingFamilyPolicy::name() const {
+  return "caching(" + inner_->name() + ")";
+}
+
+core::FamilySearchOutcome CachingFamilyPolicy::search(
+    const core::FamilySearchContext& ctx,
+    const pruning::SubgraphFamily& family,
+    const sharding::ShardingPlan& base) const {
+  // The outcome depends on the family's structure (incl. boundary specs)
+  // and the planning options — never on `base`, whose member entries the
+  // search overwrites before scoring.
+  const Fingerprint key =
+      util::hash128_combine(family_fingerprint(ctx.graph(), family),
+                            options_fingerprint(ctx.options()));
+  if (auto hit = cache_->lookup(key)) {
+    if (!hit->found || hit->choice.size() == family.member_nodes.size())
+      return *hit;
+  }
+  core::FamilySearchOutcome out = inner_->search(ctx, family, base);
+  cache_->insert(key, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PlannerService
+// ---------------------------------------------------------------------------
+
+PlannerService::PlannerService(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache),
+      families_(std::make_shared<FamilyResultCache>()),
+      pool_(opts_.request_threads) {}
+
+PlanKey PlannerService::key_for(const PlanRequest& req) const {
+  TAP_CHECK(req.tg != nullptr) << "PlanRequest has no graph";
+  return make_plan_key(*req.tg, req.opts, req.sweep_mesh);
+}
+
+core::PlanRecord PlannerService::record_of(const core::TapResult& result) {
+  core::PlanRecord record;
+  record.plan = result.best_plan;
+  record.cost = result.cost;
+  record.stats.candidate_plans = result.candidate_plans;
+  record.stats.valid_plans = result.valid_plans;
+  record.stats.nodes_visited = result.nodes_visited;
+  record.stats.cost_queries = result.cost_queries;
+  record.timings = result.pass_timings;
+  record.search_seconds = result.search_seconds;
+  return record;
+}
+
+core::TapResult PlannerService::materialize(
+    const PlanRequest& req, const core::PlanRecord& record) const {
+  core::TapResult r;
+  r.best_plan = record.plan;
+  // Pruning and routing are deterministic functions of (graph, options) and
+  // (graph, plan) — recomputing them reproduces the cold result exactly,
+  // and route_plan re-validates the cached choices against the live graph.
+  r.pruning = pruning::prune_graph(*req.tg, req.opts.prune);
+  r.routed = sharding::route_plan(*req.tg, record.plan);
+  TAP_CHECK(r.routed.valid)
+      << "cached plan does not route: " << r.routed.error;
+  r.cost = record.cost;
+  r.candidate_plans = record.stats.candidate_plans;
+  r.valid_plans = record.stats.valid_plans;
+  r.nodes_visited = record.stats.nodes_visited;
+  r.cost_queries = record.stats.cost_queries;
+  r.search_seconds = record.search_seconds;
+  r.pass_timings = record.timings;
+  return r;
+}
+
+core::TapResult PlannerService::run_search(const PlanRequest& req) {
+  if (opts_.search_override) return opts_.search_override(req);
+  std::shared_ptr<const core::FamilySearchPolicy> policy;
+  if (opts_.family_cache)
+    policy = std::make_shared<CachingFamilyPolicy>(families_, nullptr);
+  if (req.sweep_mesh)
+    return core::auto_parallel_best_mesh(*req.tg, req.opts, policy);
+  return core::auto_parallel(*req.tg, req.opts, policy);
+}
+
+std::shared_future<core::TapResult> PlannerService::submit(
+    const PlanRequest& req) {
+  const PlanKey key = key_for(req);
+
+  std::optional<core::PlanRecord> hit;
+  auto prom = std::make_shared<std::promise<core::TapResult>>();
+  std::shared_future<core::TapResult> fut;
+  {
+    // Coalesce/lookup/register are one atomic step: a duplicate submitted
+    // at ANY point relative to another request's lifetime lands on either
+    // the in-flight future or the cached record (the completing task
+    // inserts into the cache BEFORE erasing its in-flight entry), so
+    // `searches` counts exactly the distinct keys ever submitted.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      ++stats_.coalesced;
+      return it->second;
+    }
+    hit = cache_.lookup(key, *req.tg);
+    if (hit) {
+      ++stats_.cache_hits;
+    } else {
+      fut = prom->get_future().share();
+      inflight_.emplace(key, fut);
+      ++stats_.searches;
+    }
+  }
+
+  if (hit) {
+    // Materialize outside mu_ (prune + route are pure); concurrent hits
+    // for the same key just materialize independently.
+    prom->set_value(materialize(req, *hit));
+    return prom->get_future().share();
+  }
+
+  PlanRequest task_req = req;
+  pool_.submit([this, key, task_req, prom] {
+    try {
+      core::TapResult result = run_search(task_req);
+      cache_.insert(key, record_of(result), *task_req.tg);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      prom->set_value(std::move(result));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      prom->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+ServiceStats PlannerService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.family_hits = families_->hits();
+  s.family_misses = families_->misses();
+  return s;
+}
+
+}  // namespace tap::service

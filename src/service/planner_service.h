@@ -1,0 +1,192 @@
+// PlannerService — the concurrent front end of the planner (ISSUE:
+// plan-cache subsystem).
+//
+// A service owns a two-tier PlanCache (service/plan_cache.h), a
+// family-outcome cache, and a util::ThreadPool of request workers.
+// Clients submit PlanRequests and get back shared_futures of the exact
+// TapResult a direct auto_parallel / auto_parallel_best_mesh call would
+// produce — the planner is deterministic and the cache key captures every
+// planning-relevant input (service/fingerprint.h), so serving from cache
+// is bit-identical to searching, which the service tests enforce field by
+// field.
+//
+// Request flow, under one mutex so the outcome is deterministic:
+//   1. coalesce — an in-flight request with the same key returns the same
+//      future (single-flight: N concurrent identical requests cost ONE
+//      search, counted in ServiceStats::coalesced);
+//   2. cache hit — the stored PlanRecord is re-materialized (deterministic
+//      prune + route against the live graph) into a ready future;
+//   3. miss — the key is registered in-flight and the search runs on the
+//      pool. The completion order is: cache insert, THEN in-flight erase,
+//      THEN promise fulfilment — so at every instant a duplicate request
+//      finds either the in-flight entry or the cached record, never a gap.
+//      Hence the invariant the tests assert: searches == distinct keys.
+//
+// On a whole-graph miss the service still reuses work at the family level:
+// run_search installs a CachingFamilyPolicy, so a family whose fingerprint
+// was already searched (e.g. the same encoder block in a deeper build of
+// the model) is answered from memory instead of re-enumerated. This is the
+// paper's depth-independence carried across *requests*, not just across
+// instances within one graph.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tap.h"
+#include "service/fingerprint.h"
+#include "service/plan_cache.h"
+#include "util/thread_pool.h"
+
+namespace tap::service {
+
+/// One planning request. The graph is borrowed: the caller must keep it
+/// alive until the returned future resolves.
+struct PlanRequest {
+  const ir::TapGraph* tg = nullptr;
+  core::TapOptions opts;
+  /// false = fixed-mesh auto_parallel; true = auto_parallel_best_mesh
+  /// (opts.num_shards / dp_replicas are ignored, as in the direct call).
+  bool sweep_mesh = false;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  /// Full planner searches actually executed (== distinct keys submitted).
+  std::uint64_t searches = 0;
+  /// Requests answered from the PlanCache (memory or disk tier).
+  std::uint64_t cache_hits = 0;
+  /// Requests that joined an in-flight search for the same key.
+  std::uint64_t coalesced = 0;
+  /// Family-level reuse inside cache-missing searches.
+  std::uint64_t family_hits = 0;
+  std::uint64_t family_misses = 0;
+};
+
+struct ServiceOptions {
+  PlanCacheOptions cache;
+  /// Worker threads executing requests. <= 0 selects
+  /// hardware_concurrency(); 1 runs searches inline on the submitting
+  /// thread (futures are then always ready when submit returns).
+  int request_threads = 0;
+  /// Reuse FamilySearchOutcomes across requests by family fingerprint.
+  bool family_cache = true;
+  /// Test/bench hook: when set, replaces the planner invocation on a cache
+  /// miss (the result is still cached and coalesced normally). Lets tests
+  /// hold a search open on a latch to observe single-flight, and benches
+  /// measure pure cache overhead.
+  std::function<core::TapResult(const PlanRequest&)> search_override;
+};
+
+/// Thread-safe Fingerprint -> FamilySearchOutcome map, mutex-striped like
+/// the PlanCache's memory tier. Unbounded: family outcomes are a few ints
+/// per distinct (family, options) pair.
+class FamilyResultCache {
+ public:
+  explicit FamilyResultCache(int stripes = 8);
+
+  FamilyResultCache(const FamilyResultCache&) = delete;
+  FamilyResultCache& operator=(const FamilyResultCache&) = delete;
+
+  std::optional<core::FamilySearchOutcome> lookup(const Fingerprint& key);
+  void insert(const Fingerprint& key,
+              const core::FamilySearchOutcome& outcome);
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<Fingerprint, core::FamilySearchOutcome,
+                       FingerprintHash>
+        map;
+  };
+
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// FamilySearchPolicy decorator that memoizes outcomes by
+/// family-fingerprint x options-fingerprint. Safe for the parallel
+/// FamilySearch pass and the mesh sweep (the stripes serialize only
+/// same-stripe keys). A cached outcome whose choice does not match the
+/// family's member count (a fingerprint collision — never observed, but
+/// cheap to guard) falls through to the inner policy.
+class CachingFamilyPolicy final : public core::FamilySearchPolicy {
+ public:
+  CachingFamilyPolicy(std::shared_ptr<FamilyResultCache> cache,
+                      std::shared_ptr<const core::FamilySearchPolicy> inner);
+
+  std::string name() const override;
+  core::FamilySearchOutcome search(
+      const core::FamilySearchContext& ctx,
+      const pruning::SubgraphFamily& family,
+      const sharding::ShardingPlan& base) const override;
+
+ private:
+  std::shared_ptr<FamilyResultCache> cache_;
+  std::shared_ptr<const core::FamilySearchPolicy> inner_;
+};
+
+class PlannerService {
+ public:
+  explicit PlannerService(ServiceOptions opts = {});
+  ~PlannerService() = default;
+
+  PlannerService(const PlannerService&) = delete;
+  PlannerService& operator=(const PlannerService&) = delete;
+
+  /// Asynchronous entry point: coalesces, serves from cache, or schedules
+  /// a search on the request pool. The future carries the search's
+  /// exception if it throws (cache and in-flight state are cleaned up).
+  std::shared_future<core::TapResult> submit(const PlanRequest& req);
+
+  /// Blocking convenience wrapper.
+  core::TapResult plan(const PlanRequest& req) {
+    return submit(req).get();
+  }
+
+  /// The cache key `req` would be served under (exposed for tests and the
+  /// CLI's cache-stats output).
+  PlanKey key_for(const PlanRequest& req) const;
+
+  ServiceStats stats() const;
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+  PlanCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  core::TapResult run_search(const PlanRequest& req);
+  /// Rebuilds a full TapResult from a cached record: plan/cost/stats come
+  /// from the record; pruning and routing are recomputed (both
+  /// deterministic), so the hit is indistinguishable from a cold search.
+  core::TapResult materialize(const PlanRequest& req,
+                              const core::PlanRecord& record) const;
+  static core::PlanRecord record_of(const core::TapResult& result);
+
+  ServiceOptions opts_;
+  PlanCache cache_;
+  std::shared_ptr<FamilyResultCache> families_;
+
+  mutable std::mutex mu_;  ///< guards stats_ and inflight_
+  ServiceStats stats_;
+  std::unordered_map<PlanKey, std::shared_future<core::TapResult>,
+                     PlanKeyHash>
+      inflight_;
+
+  /// Declared last: the pool's destructor drains queued searches before
+  /// the caches and in-flight map above are torn down.
+  util::ThreadPool pool_;
+};
+
+}  // namespace tap::service

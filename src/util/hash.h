@@ -40,4 +40,79 @@ inline std::uint64_t hash_mix_unordered(std::uint64_t acc, std::uint64_t v) {
   return acc + (v | 1) * 0x9e3779b97f4a7c15ull;
 }
 
+// ---------------------------------------------------------------------------
+// 128-bit fingerprints (src/service plan-cache keys)
+// ---------------------------------------------------------------------------
+//
+// FNV-64 is fine for the pruning signatures (collisions are caught by the
+// relname cross-check in block_family), but cache keys are trusted without
+// a second look: a collision would silently serve the wrong plan. 128 bits
+// of splitmix-mixed state make that astronomically unlikely even across
+// millions of cached graphs.
+
+/// splitmix64 finalizer — full-avalanche mixing of one 64-bit word.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// A 128-bit fingerprint: two independently-seeded splitmix lanes that
+/// cross-feed on every absorbed word, so the halves never degenerate into
+/// the same 64-bit stream.
+struct Hash128 {
+  std::uint64_t hi = 0x6a09e667f3bcc908ull;  ///< sqrt(2) bits, SHA-512 IV
+  std::uint64_t lo = 0xbb67ae8584caa73bull;  ///< sqrt(3) bits, SHA-512 IV
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// A well-mixed 64-bit digest for bucket selection.
+  std::uint64_t digest() const { return splitmix64(hi ^ splitmix64(lo)); }
+};
+
+/// Absorbs one 64-bit word into a 128-bit fingerprint. Order-dependent.
+inline Hash128 hash128_combine(Hash128 h, std::uint64_t v) {
+  const std::uint64_t m = splitmix64(v);
+  return {splitmix64(h.hi ^ m ^ (h.lo >> 32)),
+          splitmix64(h.lo + m + (h.hi << 1 | h.hi >> 63))};
+}
+
+/// Absorbs a second fingerprint (order-dependent), for composing keys.
+inline Hash128 hash128_combine(Hash128 h, const Hash128& v) {
+  return hash128_combine(hash128_combine(h, v.hi), v.lo);
+}
+
+inline Hash128 hash128_bytes(const void* data, std::size_t n,
+                             Hash128 seed = {}) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  Hash128 h = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w = 0;
+    for (int b = 0; b < 8; ++b)
+      w |= static_cast<std::uint64_t>(p[i + static_cast<std::size_t>(b)])
+           << (8 * b);
+    h = hash128_combine(h, w);
+  }
+  std::uint64_t tail = 0;
+  for (int b = 0; i < n; ++i, ++b)
+    tail |= static_cast<std::uint64_t>(p[i]) << (8 * b);
+  // Length closes the stream: "ab"+"c" != "a"+"bc".
+  h = hash128_combine(h, tail);
+  return hash128_combine(h, static_cast<std::uint64_t>(n));
+}
+
+inline Hash128 hash128_str(std::string_view s, Hash128 seed = {}) {
+  return hash128_bytes(s.data(), s.size(), seed);
+}
+
 }  // namespace tap::util

@@ -30,15 +30,29 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     Batch* batch = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(m_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (batch_ != nullptr && generation_ != seen);
+        return stop_ || !tasks_.empty() ||
+               (batch_ != nullptr && generation_ != seen);
       });
-      if (stop_) return;
-      seen = generation_;
-      batch = batch_;
-      ++batch->active;
+      // Tasks first, and even during shutdown: every future returned by
+      // submit() must resolve, so the queue is drained before exit.
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (batch_ != nullptr && generation_ != seen) {
+        seen = generation_;
+        batch = batch_;
+        ++batch->active;
+      } else {
+        return;  // stop_ with nothing left to do
+      }
+    }
+    if (task) {
+      task();  // packaged_task: exceptions land in the caller's future
+      continue;
     }
     run_batch(*batch);
     {
@@ -73,8 +87,19 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (threads_ <= 1 || workers_.empty() || n == 1) {
-    // Sequential degenerate case: exceptions propagate directly.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Sequential degenerate case. Matches the parallel contract exactly:
+    // a throwing index does not skip the remaining ones (they would run
+    // under any multi-threaded schedule), and the lowest-index failure is
+    // what reaches the caller.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     return;
   }
   Batch batch;

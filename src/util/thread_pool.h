@@ -1,28 +1,44 @@
 // util::ThreadPool — a small fixed-size worker pool for the planner's
 // embarrassingly-parallel loops (the per-family search and the (dp, tp)
-// mesh sweep, see core/planner_pipeline.h).
+// mesh sweep, see core/planner_pipeline.h) and for the PlannerService's
+// asynchronous request execution (src/service/planner_service.h).
+//
+// Two entry points share the same workers:
+//   * parallel_for(n, fn) — the batch mode the planner uses;
+//   * submit(f)           — one task, returning a std::future that carries
+//     the task's result OR its exception (a throwing task is never
+//     silently dropped; the waiter sees it on future::get()).
 //
 // Design constraints:
 //   * deterministic results: parallel_for only hands out indices; callers
 //     keep one output slot per index and merge them in index order after
 //     the join, so the outcome never depends on scheduling;
-//   * `threads <= 1` degenerates to a plain sequential loop on the calling
-//     thread — no threading machinery at all, the exact single-threaded
-//     behaviour;
-//   * exceptions thrown by tasks (TAP_CHECK throws CheckError) are
+//   * `threads <= 1` degenerates to plain execution on the calling thread —
+//     no threading machinery at all, the exact single-threaded behaviour
+//     (submit runs the task inline before returning its ready future);
+//   * exceptions thrown by batch tasks (TAP_CHECK throws CheckError) are
 //     captured, every remaining index still runs, and the lowest-index
 //     failure is rethrown on the calling thread after the join — again
-//     independent of scheduling.
+//     independent of scheduling, and identical in the sequential
+//     degenerate case;
+//   * tasks must not touch the pool they run on (no nested parallel_for /
+//     submit onto the same pool) — the planner layers instead give each
+//     level its own pool.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace tap::util {
@@ -46,6 +62,29 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues one task and returns the future of its result. An exception
+  /// escaping `f` is stored in the future and rethrown by get() — never
+  /// dropped. With no workers (threads <= 1) the task runs inline here and
+  /// the returned future is already ready. Tasks still queued when the
+  /// pool is destroyed are drained (run to completion) before the workers
+  /// exit, so every returned future eventually resolves.
+  template <typename F>
+  auto submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    work_cv_.notify_one();
+    return fut;
+  }
+
   /// Resolves a thread-count option: <= 0 -> hardware_concurrency()
   /// (at least 1), otherwise the requested value.
   static int resolve(int requested);
@@ -67,8 +106,9 @@ class ThreadPool {
   int threads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex m_;
-  std::condition_variable work_cv_;  ///< workers wait for a new batch
+  std::condition_variable work_cv_;  ///< workers wait for a batch or task
   std::condition_variable done_cv_;  ///< caller waits for completion
+  std::deque<std::function<void()>> tasks_;  ///< submit() queue
   Batch* batch_ = nullptr;
   std::uint64_t generation_ = 0;
   bool stop_ = false;

@@ -107,5 +107,97 @@ TEST(Serialize, WhitespaceTolerant) {
   EXPECT_EQ(plan.num_shards, 8);
 }
 
+// ---------------------------------------------------------------------------
+// PlanRecord (the service plan-cache payload)
+// ---------------------------------------------------------------------------
+
+PlanRecord searched_record(const Fixture& f) {
+  TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 8;
+  opts.dp_replicas = 2;
+  auto r = auto_parallel(f.tg, opts);
+  PlanRecord rec;
+  rec.plan = r.best_plan;
+  rec.cost = r.cost;
+  rec.stats = {r.candidate_plans, r.valid_plans, r.nodes_visited,
+               r.cost_queries};
+  rec.timings = r.pass_timings;
+  rec.search_seconds = r.search_seconds;
+  return rec;
+}
+
+TEST(PlanRecord, RoundTripsEverythingExactly) {
+  Fixture f(2);
+  PlanRecord rec = searched_record(f);
+  ASSERT_GT(rec.stats.candidate_plans, 0);
+  ASSERT_FALSE(rec.timings.empty());
+
+  PlanRecord back = plan_record_from_json(f.tg, plan_record_to_json(f.tg, rec));
+  EXPECT_EQ(back.plan.num_shards, rec.plan.num_shards);
+  EXPECT_EQ(back.plan.dp_replicas, rec.plan.dp_replicas);
+  EXPECT_EQ(back.plan.choice, rec.plan.choice);
+  // Doubles round-trip bit-exactly (%.17g), not merely approximately.
+  EXPECT_EQ(back.cost.forward_comm_s, rec.cost.forward_comm_s);
+  EXPECT_EQ(back.cost.backward_comm_s, rec.cost.backward_comm_s);
+  EXPECT_EQ(back.search_seconds, rec.search_seconds);
+  EXPECT_EQ(back.stats.candidate_plans, rec.stats.candidate_plans);
+  EXPECT_EQ(back.stats.valid_plans, rec.stats.valid_plans);
+  EXPECT_EQ(back.stats.nodes_visited, rec.stats.nodes_visited);
+  EXPECT_EQ(back.stats.cost_queries, rec.stats.cost_queries);
+  ASSERT_EQ(back.timings.size(), rec.timings.size());
+  for (std::size_t i = 0; i < rec.timings.size(); ++i) {
+    EXPECT_EQ(back.timings[i].pass, rec.timings[i].pass);
+    EXPECT_EQ(back.timings[i].seconds, rec.timings[i].seconds);
+  }
+}
+
+TEST(PlanRecord, RoundTripsAwkwardDoubles) {
+  Fixture f(1);
+  PlanRecord rec;
+  rec.plan = sharding::default_plan(f.tg, 8, 2);
+  rec.cost.forward_comm_s = 0.1;  // not exactly representable
+  rec.cost.backward_comm_s = 1.0 / 3.0;
+  rec.cost.overlappable_comm_s = kInvalidPlanCost;  // "inf" round-trips
+  rec.search_seconds = 6.02214076e23;
+  rec.timings.push_back({"FamilySearch", 5e-324});  // min subnormal
+  PlanRecord back = plan_record_from_json(f.tg, plan_record_to_json(f.tg, rec));
+  EXPECT_EQ(back.cost.forward_comm_s, rec.cost.forward_comm_s);
+  EXPECT_EQ(back.cost.backward_comm_s, rec.cost.backward_comm_s);
+  EXPECT_EQ(back.cost.overlappable_comm_s, kInvalidPlanCost);
+  EXPECT_EQ(back.search_seconds, rec.search_seconds);
+  ASSERT_EQ(back.timings.size(), 1u);
+  EXPECT_EQ(back.timings[0].seconds, 5e-324);
+}
+
+TEST(PlanRecord, VersionIsFirstKeyAndMismatchRejected) {
+  Fixture f(1);
+  PlanRecord rec;
+  rec.plan = sharding::default_plan(f.tg, 8);
+  std::string json = plan_record_to_json(f.tg, rec);
+  ASSERT_LT(json.find("\"version\""), json.find("\"mesh\""));
+
+  // Same payload claiming a future version must be rejected up front.
+  std::string vkey = "\"version\": 1";
+  auto pos = json.find(vkey);
+  ASSERT_NE(pos, std::string::npos);
+  std::string future = json;
+  future.replace(pos, vkey.size(), "\"version\": 2");
+  EXPECT_THROW(plan_record_from_json(f.tg, future), CheckError);
+}
+
+TEST(PlanRecord, MalformedAndMismatchedInputRejected) {
+  Fixture f(1);
+  EXPECT_THROW(plan_record_from_json(f.tg, ""), CheckError);
+  EXPECT_THROW(plan_record_from_json(f.tg, "{"), CheckError);
+  EXPECT_THROW(plan_record_from_json(f.tg, "not json at all"), CheckError);
+  // Structurally valid JSON for a DIFFERENT graph (wrong choice count).
+  Fixture big(3);
+  PlanRecord rec;
+  rec.plan = sharding::default_plan(big.tg, 8);
+  std::string json = plan_record_to_json(big.tg, rec);
+  EXPECT_THROW(plan_record_from_json(f.tg, json), CheckError);
+}
+
 }  // namespace
 }  // namespace tap::core

@@ -1,0 +1,497 @@
+// PlannerService / PlanCache / fingerprint tests — the acceptance criteria
+// of the service subsystem: cache hits are bit-identical to cold searches,
+// duplicate concurrent requests single-flight into one search, and stale
+// or damaged disk files are rejected, never misinterpreted.
+#include "service/planner_service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "util/check.h"
+
+namespace tap::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::TapOptions small_cluster_opts() {
+  core::TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 8;
+  opts.dp_replicas = 2;
+  opts.threads = 1;
+  return opts;
+}
+
+/// Fresh per-test scratch directory for the disk tier.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("tap_service_test_" + tag + "_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+void expect_results_identical(const core::TapResult& a,
+                              const core::TapResult& b) {
+  // Sharding decisions.
+  EXPECT_EQ(a.best_plan.num_shards, b.best_plan.num_shards);
+  EXPECT_EQ(a.best_plan.dp_replicas, b.best_plan.dp_replicas);
+  EXPECT_EQ(a.best_plan.choice, b.best_plan.choice);
+  // Cost, bit for bit.
+  EXPECT_EQ(a.cost.forward_comm_s, b.cost.forward_comm_s);
+  EXPECT_EQ(a.cost.backward_comm_s, b.cost.backward_comm_s);
+  EXPECT_EQ(a.cost.overlappable_comm_s, b.cost.overlappable_comm_s);
+  EXPECT_EQ(a.cost.comm_bytes, b.cost.comm_bytes);
+  // Search statistics.
+  EXPECT_EQ(a.candidate_plans, b.candidate_plans);
+  EXPECT_EQ(a.valid_plans, b.valid_plans);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.cost_queries, b.cost_queries);
+  // Routing (derived, but cheap to pin down).
+  EXPECT_TRUE(a.routed.valid);
+  EXPECT_TRUE(b.routed.valid);
+  EXPECT_EQ(a.routed.pattern_index, b.routed.pattern_index);
+  EXPECT_EQ(a.routed.total_comm_bytes(), b.routed.total_comm_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, ZooGraphsAllDistinct) {
+  // The whole Table 1 zoo — every architecture must land on its own
+  // fingerprint (the collision smoke test for the 128-bit hash).
+  std::set<std::string> hexes;
+  std::size_t count = 0;
+  for (const auto& entry : models::table1_zoo()) {
+    Graph g = entry.build();
+    ir::TapGraph tg = ir::lower(g);
+    PlanKey key = make_plan_key(tg, core::TapOptions{}, false);
+    hexes.insert(key.to_hex());
+    ++count;
+  }
+  EXPECT_EQ(hexes.size(), count);
+  EXPECT_GE(count, 8u);
+}
+
+TEST(Fingerprint, DeterministicAcrossRebuilds) {
+  Graph a = models::build_transformer(models::t5_with_layers(2));
+  Graph b = models::build_transformer(models::t5_with_layers(2));
+  EXPECT_EQ(graph_fingerprint(ir::lower(a)), graph_fingerprint(ir::lower(b)));
+}
+
+TEST(Fingerprint, IgnoresModelNameButSeesStructure) {
+  models::TransformerConfig cfg = models::t5_with_layers(2);
+  Graph original = models::build_transformer(cfg);
+  cfg.name = "renamed_t5";
+  Graph renamed = models::build_transformer(cfg);
+  // Same architecture under a different root name: same planning problem.
+  EXPECT_EQ(graph_fingerprint(ir::lower(original)),
+            graph_fingerprint(ir::lower(renamed)));
+
+  cfg.d_ff *= 2;  // a real structural change must be seen
+  Graph wider = models::build_transformer(cfg);
+  EXPECT_NE(graph_fingerprint(ir::lower(renamed)),
+            graph_fingerprint(ir::lower(wider)));
+
+  models::TransformerConfig deeper = models::t5_with_layers(3);
+  EXPECT_NE(graph_fingerprint(ir::lower(original)),
+            graph_fingerprint(
+                ir::lower(models::build_transformer(deeper))));
+}
+
+TEST(Fingerprint, OptionsKeyIgnoresThreadsButSeesMesh) {
+  core::TapOptions a = small_cluster_opts();
+  core::TapOptions b = a;
+  b.threads = 7;  // thread count never changes the answer
+  EXPECT_EQ(options_fingerprint(a), options_fingerprint(b));
+
+  b.num_shards = 4;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  b = a;
+  b.cluster.inter_bw *= 2.0;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  b = a;
+  b.max_plans_per_family = 1;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+}
+
+TEST(Fingerprint, SweepKeyNormalizesRequestedMesh) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions a = small_cluster_opts();
+  core::TapOptions b = a;
+  b.num_shards = 4;  // ignored by the sweep -> same key
+  b.dp_replicas = 4;
+  EXPECT_EQ(make_plan_key(tg, a, true), make_plan_key(tg, b, true));
+  EXPECT_NE(make_plan_key(tg, a, false), make_plan_key(tg, b, false));
+  // Fixed-mesh and sweep requests never share a key.
+  EXPECT_NE(make_plan_key(tg, a, false), make_plan_key(tg, a, true));
+}
+
+TEST(Fingerprint, FamilyFingerprintsShareAcrossDepths) {
+  // The T5 encoder block of a 2-layer build must fingerprint identically
+  // to the same block inside a 3-layer build — that overlap is what the
+  // family cache monetizes.
+  Graph g2 = models::build_transformer(models::t5_with_layers(2));
+  Graph g3 = models::build_transformer(models::t5_with_layers(3));
+  ir::TapGraph tg2 = ir::lower(g2);
+  ir::TapGraph tg3 = ir::lower(g3);
+  pruning::PruneResult p2 = pruning::prune_graph(tg2);
+  pruning::PruneResult p3 = pruning::prune_graph(tg3);
+
+  std::set<Fingerprint> fp2, fp3;
+  for (const auto& fam : p2.families)
+    fp2.insert(family_fingerprint(tg2, fam));
+  for (const auto& fam : p3.families)
+    fp3.insert(family_fingerprint(tg3, fam));
+  // Distinct families within one graph fingerprint distinctly...
+  EXPECT_EQ(fp2.size(), p2.families.size());
+  EXPECT_EQ(fp3.size(), p3.families.size());
+  // ...and the depth-independent block families overlap across graphs.
+  std::size_t shared = 0;
+  for (const Fingerprint& f : fp2) shared += fp3.count(f);
+  EXPECT_GT(shared, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical serving
+// ---------------------------------------------------------------------------
+
+struct ZooCase {
+  const char* label;
+  std::function<Graph()> build;
+  bool sweep = false;
+};
+
+class ServiceIdentity : public ::testing::TestWithParam<int> {};
+
+const ZooCase kIdentityCases[] = {
+    {"t5_2l", [] { return models::build_transformer(models::t5_with_layers(2)); },
+     false},
+    {"t5_2l_sweep",
+     [] { return models::build_transformer(models::t5_with_layers(2)); },
+     true},
+    {"moe_2l",
+     [] {
+       models::MoeConfig cfg = models::widenet();
+       cfg.num_layers = 2;
+       return models::build_moe_transformer(cfg);
+     },
+     false},
+    {"resnet50",
+     [] { return models::build_resnet(models::resnet50()); }, false},
+};
+
+TEST_P(ServiceIdentity, CachedPlanIsBitIdenticalToColdSearch) {
+  const ZooCase& c = kIdentityCases[static_cast<std::size_t>(GetParam())];
+  Graph g = c.build();
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts = small_cluster_opts();
+
+  const core::TapResult cold =
+      c.sweep ? core::auto_parallel_best_mesh(tg, opts)
+              : core::auto_parallel(tg, opts);
+
+  TempDir dir(std::string("identity_") + c.label);
+  ServiceOptions sopts;
+  sopts.cache.disk_dir = dir.path;
+  sopts.request_threads = 1;
+  PlannerService svc(sopts);
+
+  const PlanRequest req{&tg, opts, c.sweep};
+  const core::TapResult fresh = svc.plan(req);
+  const core::TapResult hit = svc.plan(req);  // memory tier
+
+  expect_results_identical(cold, fresh);
+  expect_results_identical(cold, hit);
+  EXPECT_EQ(svc.stats().searches, 1u);
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+  EXPECT_GE(svc.cache_stats().memory_hits, 1u);
+
+  // Disk tier: a brand-new service over the same directory must serve the
+  // persisted record, still bit-identical.
+  PlannerService svc2(sopts);
+  const core::TapResult disk_hit = svc2.plan(req);
+  expect_results_identical(cold, disk_hit);
+  EXPECT_EQ(svc2.stats().searches, 0u);
+  EXPECT_EQ(svc2.cache_stats().disk_hits, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ServiceIdentity, ::testing::Range(0, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kIdentityCases[static_cast<std::size_t>(
+                                                     info.param)]
+                               .label;
+                         });
+
+TEST(PlannerService, RenamedModelServedFromCache) {
+  // The positional PlanRecord must apply to a structurally equal graph
+  // with different node names.
+  models::TransformerConfig cfg = models::t5_with_layers(2);
+  Graph a = models::build_transformer(cfg);
+  cfg.name = "same_shape_other_name";
+  Graph b = models::build_transformer(cfg);
+  ir::TapGraph ta = ir::lower(a), tb = ir::lower(b);
+  core::TapOptions opts = small_cluster_opts();
+
+  PlannerService svc;
+  const core::TapResult ra = svc.plan({&ta, opts, false});
+  const core::TapResult rb = svc.plan({&tb, opts, false});
+  EXPECT_EQ(svc.stats().searches, 1u);  // second request was a cache hit
+  expect_results_identical(ra, rb);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: single-flight and stress
+// ---------------------------------------------------------------------------
+
+TEST(PlannerService, CoalescesConcurrentDuplicates) {
+  // Deterministic single-flight proof: hold the (overridden) search open
+  // on a latch until K duplicate requests are all submitted, then release
+  // it and check one search served everyone.
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts = small_cluster_opts();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  int searches = 0;
+
+  ServiceOptions sopts;
+  sopts.request_threads = 2;
+  sopts.search_override = [&](const PlanRequest& req) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++searches;
+      cv.wait(lock, [&] { return release; });
+    }
+    return core::auto_parallel(*req.tg, req.opts);
+  };
+  PlannerService svc(sopts);
+
+  constexpr int kDuplicates = 6;
+  std::vector<std::shared_future<core::TapResult>> futs;
+  for (int i = 0; i < kDuplicates; ++i)
+    futs.push_back(svc.submit({&tg, opts, false}));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (auto& f : futs) EXPECT_TRUE(f.get().routed.valid);
+
+  EXPECT_EQ(searches, 1);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.requests, static_cast<std::uint64_t>(kDuplicates));
+  EXPECT_EQ(st.searches, 1u);
+  EXPECT_EQ(st.coalesced + st.cache_hits,
+            static_cast<std::uint64_t>(kDuplicates - 1));
+}
+
+TEST(PlannerService, ConcurrentStressSearchesEachKeyOnce) {
+  // N client threads hammer the service with a repeating mix of models;
+  // the deterministic invariant is searches == distinct keys, and every
+  // response must match its cold reference exactly.
+  std::vector<Graph> graphs;
+  graphs.push_back(models::build_transformer(models::t5_with_layers(1)));
+  graphs.push_back(models::build_transformer(models::t5_with_layers(2)));
+  {
+    models::MoeConfig cfg = models::widenet();
+    cfg.num_layers = 1;
+    graphs.push_back(models::build_moe_transformer(cfg));
+  }
+  std::vector<ir::TapGraph> tgs;
+  tgs.reserve(graphs.size());
+  for (Graph& g : graphs) tgs.push_back(ir::lower(g));
+
+  core::TapOptions opts = small_cluster_opts();
+  std::vector<core::TapResult> cold;
+  cold.reserve(tgs.size());
+  for (const ir::TapGraph& tg : tgs)
+    cold.push_back(core::auto_parallel(tg, opts));
+
+  ServiceOptions sopts;
+  sopts.request_threads = 4;
+  PlannerService svc(sopts);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 9;
+  std::vector<std::vector<core::TapResult>> results(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::size_t m =
+            static_cast<std::size_t>(c + r) % tgs.size();
+        results[static_cast<std::size_t>(c)].push_back(
+            svc.plan({&tgs[m], opts, false}));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(st.searches, tgs.size());  // one per distinct key, ever
+  EXPECT_EQ(st.cache_hits + st.coalesced + st.searches, st.requests);
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      const std::size_t m = static_cast<std::size_t>(c + r) % tgs.size();
+      expect_results_identical(cold[m],
+                               results[static_cast<std::size_t>(c)]
+                                      [static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+TEST(PlannerService, SearchFailurePropagatesAndDoesNotPoison) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts = small_cluster_opts();
+
+  int calls = 0;
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  sopts.search_override = [&](const PlanRequest& req) -> core::TapResult {
+    if (++calls == 1) throw CheckError("injected search failure");
+    return core::auto_parallel(*req.tg, req.opts);
+  };
+  PlannerService svc(sopts);
+
+  EXPECT_THROW(svc.plan({&tg, opts, false}), CheckError);
+  // The key is no longer in flight and was not cached: a retry re-searches
+  // and succeeds.
+  const core::TapResult ok = svc.plan({&tg, opts, false});
+  EXPECT_TRUE(ok.routed.valid);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(svc.stats().searches, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier hygiene
+// ---------------------------------------------------------------------------
+
+TEST(PlannerService, CorruptedDiskFileIsRejectedAndResearched) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts = small_cluster_opts();
+  const core::TapResult cold = core::auto_parallel(tg, opts);
+
+  TempDir dir("corrupt");
+  ServiceOptions sopts;
+  sopts.cache.disk_dir = dir.path;
+  sopts.request_threads = 1;
+
+  std::string file;
+  {
+    PlannerService svc(sopts);
+    svc.plan({&tg, opts, false});
+    file = svc.cache().disk_path(svc.key_for({&tg, opts, false}));
+  }
+  ASSERT_TRUE(fs::exists(file));
+  {
+    std::ofstream out(file, std::ios::trunc);
+    out << "{ \"version\": 1, garbage that is not a plan record";
+  }
+
+  PlannerService svc(sopts);
+  const core::TapResult recovered = svc.plan({&tg, opts, false});
+  expect_results_identical(cold, recovered);
+  EXPECT_EQ(svc.cache_stats().disk_rejects, 1u);
+  EXPECT_EQ(svc.stats().searches, 1u);  // re-searched, not served garbage
+  // The re-search overwrote the damaged file with a good one.
+  PlannerService svc3(sopts);
+  expect_results_identical(cold, svc3.plan({&tg, opts, false}));
+  EXPECT_EQ(svc3.stats().searches, 0u);
+}
+
+TEST(PlannerService, VersionMismatchedDiskFileIsRejected) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts = small_cluster_opts();
+
+  TempDir dir("version");
+  ServiceOptions sopts;
+  sopts.cache.disk_dir = dir.path;
+  sopts.request_threads = 1;
+
+  std::string file;
+  {
+    PlannerService svc(sopts);
+    svc.plan({&tg, opts, false});
+    file = svc.cache().disk_path(svc.key_for({&tg, opts, false}));
+  }
+  // Rewrite the valid payload claiming a future format version.
+  std::stringstream buf;
+  {
+    std::ifstream in(file);
+    buf << in.rdbuf();
+  }
+  std::string payload = buf.str();
+  const std::string vkey = "\"version\": 1";
+  const auto pos = payload.find(vkey);
+  ASSERT_NE(pos, std::string::npos);
+  payload.replace(pos, vkey.size(), "\"version\": 999");
+  {
+    std::ofstream out(file, std::ios::trunc);
+    out << payload;
+  }
+
+  PlannerService svc(sopts);
+  const core::TapResult r = svc.plan({&tg, opts, false});
+  EXPECT_TRUE(r.routed.valid);
+  EXPECT_EQ(svc.cache_stats().disk_rejects, 1u);
+  EXPECT_EQ(svc.stats().searches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Family-level reuse
+// ---------------------------------------------------------------------------
+
+TEST(PlannerService, FamilyCacheReusesBlocksAcrossDepths) {
+  // Plan T5-2L, then T5-3L in the same service: the whole-graph key
+  // misses, but the shared encoder/decoder block families must be served
+  // from the family cache — and the result still matches a cold search.
+  Graph g2 = models::build_transformer(models::t5_with_layers(2));
+  Graph g3 = models::build_transformer(models::t5_with_layers(3));
+  ir::TapGraph t2 = ir::lower(g2), t3 = ir::lower(g3);
+  core::TapOptions opts = small_cluster_opts();
+  const core::TapResult cold3 = core::auto_parallel(t3, opts);
+
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  PlannerService svc(sopts);
+  svc.plan({&t2, opts, false});
+  const std::uint64_t hits_before = svc.stats().family_hits;
+  const core::TapResult via_service = svc.plan({&t3, opts, false});
+
+  EXPECT_EQ(svc.stats().searches, 2u);  // both were whole-graph misses
+  EXPECT_GT(svc.stats().family_hits, hits_before);
+  expect_results_identical(cold3, via_service);
+}
+
+}  // namespace
+}  // namespace tap::service

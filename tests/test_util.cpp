@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -104,6 +105,60 @@ TEST(Hash, UnorderedMixIsCommutative) {
   EXPECT_NE(ab, kFnvOffset);
 }
 
+TEST(Hash128, DefaultIsStableNonZero) {
+  Hash128 a, b;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.hi, 0u);
+  EXPECT_NE(a.lo, 0u);
+  EXPECT_NE(hash128_combine(a, 1), a);
+}
+
+TEST(Hash128, Splitmix64Sanity) {
+  // Reference value: first output of the splitmix64 stream seeded with 0
+  // (the increment is folded into the finalizer).
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafull);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+}
+
+TEST(Hash128, CombineIsSensitiveAndOrderDependent) {
+  Hash128 seed;
+  Hash128 ab = hash128_combine(hash128_combine(seed, 1), 2);
+  Hash128 ba = hash128_combine(hash128_combine(seed, 2), 1);
+  EXPECT_NE(ab, ba);
+  EXPECT_NE(hash128_combine(seed, 1), hash128_combine(seed, 2));
+  // Both lanes move, not just one.
+  EXPECT_NE(ab.hi, ba.hi);
+  EXPECT_NE(ab.lo, ba.lo);
+}
+
+TEST(Hash128, BytesLengthClosed) {
+  // Distinct lengths of the same prefix must differ ("ab" vs "ab\0").
+  const char buf[3] = {'a', 'b', '\0'};
+  EXPECT_NE(hash128_bytes(buf, 2), hash128_bytes(buf, 3));
+  EXPECT_EQ(hash128_str("ab"), hash128_bytes(buf, 2));
+  EXPECT_NE(hash128_str(""), hash128_str("a"));
+  // Word-boundary sensitivity: 8 vs 9 bytes exercises the tail path.
+  std::string eight(8, 'x'), nine(9, 'x');
+  EXPECT_NE(hash128_str(eight), hash128_str(nine));
+}
+
+TEST(Hash128, DigestHasNoObviousCollisions) {
+  // Sequential integers — the adversarially boring input — must spread.
+  std::set<std::uint64_t> digests;
+  Hash128 seed;
+  for (std::uint64_t i = 0; i < 10000; ++i)
+    digests.insert(hash128_combine(seed, i).digest());
+  EXPECT_EQ(digests.size(), 10000u);
+}
+
+TEST(Hash128, OrderingIsTotal) {
+  Hash128 a = hash128_combine({}, 1);
+  Hash128 b = hash128_combine({}, 2);
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_FALSE(a < a);
+}
+
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0;
@@ -194,6 +249,76 @@ TEST(ThreadPool, RethrowsLowestIndexFailure) {
   std::atomic<int> again{0};
   pool.parallel_for(10, [&](std::size_t) { ++again; });
   EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPool, SequentialRethrowMatchesParallelContract) {
+  // Regression: the threads=1 degenerate case used to abort the loop at
+  // the first throw, silently dropping the remaining indices. It must run
+  // them all and rethrow the lowest-index failure, like the parallel path.
+  ThreadPool pool(1);
+  int completed = 0;
+  try {
+    pool.parallel_for(20, [&](std::size_t i) {
+      if (i == 3 || i == 17)
+        throw std::runtime_error("boom " + std::to_string(i));
+      ++completed;
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  EXPECT_EQ(completed, 18);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+  // Many tasks, all resolve with their own value.
+  std::vector<std::future<std::size_t>> futs;
+  for (std::size_t i = 0; i < 64; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionToWaiter) {
+  // Regression: a throwing task must surface on future::get(), never be
+  // swallowed by the worker loop.
+  ThreadPool pool(2);
+  auto fut = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  try {
+    fut.get();
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // The pool survives and still runs work.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, SubmitInlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto fut = pool.submit([caller] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 7;
+  });
+  // Inline execution: ready before get().
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get(), 7);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("x"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAndParallelForShareWorkers) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return std::string("side task"); });
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(fut.get(), "side task");
 }
 
 TEST(ThreadPool, ResolvePicksHardwareConcurrencyForAuto) {
