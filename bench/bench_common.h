@@ -1,17 +1,28 @@
 // Shared helpers for the paper-reproduction bench binaries. Each bench is
 // a standalone no-argument executable that prints the rows/series of one
 // table or figure from the paper (see DESIGN.md §3 for the index).
+//
+// When the TAP_BENCH_JSON environment variable names a directory, a
+// BenchReporter additionally writes a machine-readable BENCH_<name>.json
+// record there — the bench's key figures plus a full obs::dump_json()
+// metrics snapshot — which CI's bench-smoke job uploads as artifacts and
+// gates regressions on.
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/alpa_like.h"
 #include "baselines/expert_plans.h"
 #include "core/tap.h"
 #include "ir/lowering.h"
 #include "models/models.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -105,5 +116,58 @@ inline std::string ms(double seconds) {
 inline void header(const std::string& what, const std::string& paper_ref) {
   std::cout << "=== " << what << " (" << paper_ref << ") ===\n";
 }
+
+/// Machine-readable bench record. Collects named figures (doubles) and
+/// notes (strings); write() emits
+///   $TAP_BENCH_JSON/BENCH_<name>.json =
+///   {"bench":..,"figures":{..},"notes":{..},"metrics":<obs::dump_json>}
+/// and is a silent no-op when TAP_BENCH_JSON is unset, so interactive
+/// runs behave exactly as before.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  ~BenchReporter() { write(); }
+
+  void add(const std::string& key, double value) {
+    figures_.emplace_back(key, value);
+  }
+  void note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
+
+  /// Writes the record (once); returns the path written, or "".
+  std::string write() {
+    if (written_) return "";
+    const char* dir = std::getenv("TAP_BENCH_JSON");
+    if (dir == nullptr || *dir == '\0') return "";
+    written_ = true;
+    const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "BenchReporter: cannot write " << path << "\n";
+      return "";
+    }
+    out << "{\"bench\":\"" << name_ << "\",\"figures\":{";
+    for (std::size_t i = 0; i < figures_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << figures_[i].first << "\":"
+          << util::fmt("%.17g", figures_[i].second);
+    }
+    out << "},\"notes\":{";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << notes_[i].first << "\":\"" << notes_[i].second << "\"";
+    }
+    out << "},\"metrics\":" << obs::dump_json() << "}\n";
+    std::cout << "bench record written to " << path << "\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> figures_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  bool written_ = false;
+};
 
 }  // namespace tap::bench

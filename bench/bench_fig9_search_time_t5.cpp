@@ -5,11 +5,14 @@
 // ratio and TAP's flatness in depth are the reproduced shape.
 #include "baselines/alpa_like.h"
 #include "bench_common.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 int main() {
   using namespace tap;
   bench::header("Fig. 9 — search time vs T5 depth", "paper Fig. 9");
+  bench::BenchReporter report("fig9_search_time_t5");
 
   cost::ClusterSpec cluster = cost::ClusterSpec::v100_cluster(2);
   util::Table table({"layers", "params", "TAP ms", "TAP candidates",
@@ -40,6 +43,14 @@ int main() {
          util::fmt("%.0fx", (alpa.search_seconds +
                              alpa.simulated_profiling_seconds) /
                                 tap.search_seconds)});
+
+    const std::string prefix = "t5_" + std::to_string(layers) + "l.";
+    report.add(prefix + "tap_ms", tap.search_seconds * 1e3);
+    report.add(prefix + "tap_candidates",
+               static_cast<double>(tap.candidate_plans));
+    report.add(prefix + "alpa_ms", alpa.search_seconds * 1e3);
+    report.add(prefix + "speedup_wall",
+               alpa.search_seconds / tap.search_seconds);
   }
   table.print(std::cout);
   std::cout << "\nTAP examines ~777 candidates regardless of depth (one "
@@ -76,6 +87,10 @@ int main() {
                 bench::ms(rn.search_seconds),
                 util::fmt("%.1fx", r1.search_seconds / rn.search_seconds),
                 same ? "yes" : "NO"});
+    const std::string prefix = "sweep_t5_" + std::to_string(layers) + "l.";
+    report.add(prefix + "threads1_ms", r1.search_seconds * 1e3);
+    report.add(prefix + "threads_auto_ms", rn.search_seconds * 1e3);
+    report.add(prefix + "identical", same ? 1.0 : 0.0);
   }
   tt.print(std::cout);
 
@@ -94,6 +109,35 @@ int main() {
                  "BuildPatternTable is rebuilt per mesh — patterns_for "
                  "filters by divisibility against num_shards and gates the "
                  "dp pattern on the global batch.)\n";
+  }
+
+  // --- observability overhead: identical search, tracing off vs on -------
+  // The instrumentation is compiled in unconditionally; with no active
+  // TraceSession every span guard is one relaxed atomic load, so the "off"
+  // column must match seed-era timings within noise.
+  {
+    bench::Workload w = bench::t5_workload(8);
+    core::TapOptions topts;
+    topts.num_shards = cluster.world();
+    topts.cluster = cluster;
+    core::auto_parallel(w.tg, topts);  // warm caches
+    util::Stopwatch sw;
+    core::auto_parallel(w.tg, topts);
+    const double off_s = sw.elapsed_seconds();
+    obs::TraceSession session;
+    session.start();
+    sw.restart();
+    core::auto_parallel(w.tg, topts);
+    const double on_s = sw.elapsed_seconds();
+    session.stop();
+    std::printf("\n--- observability overhead (T5-8L, one search) ---\n"
+                "  tracing off %.2f ms, tracing on %.2f ms (%.0f events "
+                "captured)\n",
+                off_s * 1e3, on_s * 1e3,
+                static_cast<double>(session.events().size()));
+    report.add("obs.tracing_off_ms", off_s * 1e3);
+    report.add("obs.tracing_on_ms", on_s * 1e3);
+    report.add("obs.events", static_cast<double>(session.events().size()));
   }
   return 0;
 }

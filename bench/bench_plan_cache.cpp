@@ -3,6 +3,9 @@
 // on the T5 / MoE / ResNet workloads. The acceptance bar is a >= 10x
 // warm-over-cold speedup on T5 — a cache hit skips the family search
 // entirely and pays only fingerprinting + deterministic prune/route.
+// The bar is enforced by the exit code (CI's bench-smoke job fails on a
+// regression), and the figures land in BENCH_plan_cache.json when
+// TAP_BENCH_JSON is set.
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -55,6 +58,7 @@ int main() {
 
   util::Table table({"model", "cold ms", "warm ms", "disk ms",
                      "8x dup ms", "speedup", "searches"});
+  bench::BenchReporter report("plan_cache");
   double t5_speedup = 0.0;
 
   for (const CacheCase& c : cases) {
@@ -99,8 +103,22 @@ int main() {
                    bench::ms(disk_s), bench::ms(dup_s),
                    util::fmt("%.0fx", speedup),
                    std::to_string(svc_dup.stats().searches)});
+
+    const std::string slug =
+        c.label.rfind("T5", 0) == 0      ? "t5"
+        : c.label.rfind("Wide", 0) == 0  ? "moe"
+                                         : "resnet50";
+    report.add(slug + ".cold_ms", cold_s * 1e3);
+    report.add(slug + ".warm_ms", warm_s * 1e3);
+    report.add(slug + ".disk_ms", disk_s * 1e3);
+    report.add(slug + ".dup8_ms", dup_s * 1e3);
+    report.add(slug + ".warm_speedup", speedup);
+    report.add(slug + ".searches",
+               static_cast<double>(svc_dup.stats().searches));
   }
   table.print(std::cout);
+  report.add("t5.speedup_bar", 10.0);
+  report.note("gate", "exit 1 when t5.warm_speedup < 10");
 
   std::cout << "\nA warm hit skips the family search and pays only "
                "fingerprint + prune + route; 8 duplicates coalesce into "
@@ -113,5 +131,7 @@ int main() {
                                 "the 10x bar.\n",
                                 t5_speedup));
   fs::remove_all(disk_dir);
-  return 0;
+  // The 10x bar is the CI gate: bench-smoke fails when a cache-path
+  // regression erodes the warm-hit speedup.
+  return t5_speedup >= 10.0 ? 0 : 1;
 }

@@ -13,7 +13,15 @@
 //                                             repeat invocations from DIR
 //                                             instead of re-searching
 //           [--no-cache]                      bypass the PlannerService
-//           [--trace FILE]                    chrome://tracing JSON
+//           [--trace FILE]                    chrome://tracing JSON of the
+//                                             simulated step only
+//           [--profile FILE]                  one chrome://tracing JSON of
+//                                             the WHOLE run: planner pass
+//                                             spans, cache/service events
+//                                             and the simulated step on a
+//                                             single timeline
+//           [--stats FILE|-]                  obs::dump_json() metrics
+//                                             snapshot ("-" = stdout)
 //           [--viz]                           print the plan (Fig. 14 style)
 //
 // With no arguments: plans T5 with 8+8 layers for 2x8 V100s with an
@@ -29,6 +37,8 @@
 #include "core/visualize.h"
 #include "ir/lowering.h"
 #include "models/models.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/planner_service.h"
 #include "sim/simulator.h"
 #include "util/strings.h"
@@ -48,6 +58,7 @@ struct Args {
   bool amp = false, recompute = false, zero1 = false, xla = false, viz = false;
   bool no_cache = false;
   std::string save_plan, load_plan, trace_path, cache_dir;
+  std::string profile_path, stats_path;
 };
 
 bool parse(int argc, char** argv, Args* a) {
@@ -99,6 +110,10 @@ bool parse(int argc, char** argv, Args* a) {
       a->no_cache = true;
     } else if (!std::strcmp(f, "--trace") && (v = need_value(i))) {
       a->trace_path = v;
+    } else if (!std::strcmp(f, "--profile") && (v = need_value(i))) {
+      a->profile_path = v;
+    } else if (!std::strcmp(f, "--stats") && (v = need_value(i))) {
+      a->stats_path = v;
     } else {
       std::cerr << "unknown flag: " << f << "\n";
       return false;
@@ -151,6 +166,12 @@ int main(int argc, char** argv) {
   using namespace tap;
   Args args;
   if (!parse(argc, argv, &args)) return 2;
+
+  // --profile: activate the observability session before any planning so
+  // planner pass spans, cache/service events and the simulated step all
+  // record onto one timeline.
+  obs::TraceSession session;
+  if (!args.profile_path.empty()) session.start();
 
   Graph model = build_model(args);
   ir::TapGraph tg = ir::lower(model);
@@ -205,10 +226,13 @@ int main(int argc, char** argv) {
       opts.dp_replicas = dp;
       opts.num_shards = tp;
     }
-    if (!args.cache_dir.empty() && !args.no_cache) {
+    if ((!args.cache_dir.empty() || !args.profile_path.empty()) &&
+        !args.no_cache) {
       // Route through the PlannerService so a repeat invocation for the
       // same architecture + cluster is served from --cache-dir (the result
-      // is bit-identical to a direct search by construction).
+      // is bit-identical to a direct search by construction). --profile
+      // also takes this path so the cache/service events show up on the
+      // exported timeline.
       service::ServiceOptions sopts;
       sopts.cache.disk_dir = args.cache_dir;
       service::PlannerService svc(sopts);
@@ -246,7 +270,8 @@ int main(int argc, char** argv) {
   sopts.training.recompute = args.recompute;
   sopts.training.zero1 = args.zero1;
   sim::Trace trace;
-  if (!args.trace_path.empty()) sopts.trace = &trace;
+  if (!args.trace_path.empty() || !args.profile_path.empty())
+    sopts.trace = &trace;
 
   auto step = sim::simulate_step(tg, result.routed,
                                  result.best_plan.num_shards, opts.cluster,
@@ -268,6 +293,26 @@ int main(int argc, char** argv) {
     out << trace.to_chrome_json();
     std::printf("trace written to %s (open in chrome://tracing)\n",
                 args.trace_path.c_str());
+  }
+  if (!args.profile_path.empty()) {
+    // Re-base the simulated step onto the session timeline (pid 1), then
+    // export planner + service + simulator as one Chrome trace.
+    trace.append_to(session);
+    session.stop();
+    std::ofstream out(args.profile_path);
+    out << session.to_chrome_json();
+    std::printf("profile written to %s (%zu events; open in "
+                "chrome://tracing or https://ui.perfetto.dev)\n",
+                args.profile_path.c_str(), session.events().size());
+  }
+  if (!args.stats_path.empty()) {
+    if (args.stats_path == "-") {
+      std::cout << obs::dump_json() << "\n";
+    } else {
+      std::ofstream out(args.stats_path);
+      out << obs::dump_json() << "\n";
+      std::printf("stats written to %s\n", args.stats_path.c_str());
+    }
   }
   return 0;
 }

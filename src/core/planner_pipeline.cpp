@@ -1,7 +1,10 @@
 #include "core/planner_pipeline.h"
 
 #include <algorithm>
+#include <cctype>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +32,22 @@ bool family_is_weighted(const ir::TapGraph& tg, const SubgraphFamily& f) {
   return false;
 }
 
+/// "BuildPatternTable" -> "planner.pass.build_pattern_table_ms".
+std::string pass_metric_name(const std::string& pass) {
+  std::string out = "planner.pass.";
+  for (std::size_t i = 0; i < pass.size(); ++i) {
+    const char c = pass[i];
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      if (i > 0) out.push_back('_');
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "_ms";
+  return out;
+}
+
 }  // namespace
 
 PlannerPipeline& PlannerPipeline::add(std::unique_ptr<PlannerPass> pass) {
@@ -41,9 +60,15 @@ void PlannerPipeline::run_prefix(PlanContext& ctx, std::size_t n) const {
   TAP_CHECK_LE(n, passes_.size());
   (void)ctx.graph();  // fail early on an unbound context
   for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = passes_[i]->name();
     util::Stopwatch sw;
-    passes_[i]->run(ctx);
-    ctx.timings.push_back({passes_[i]->name(), sw.elapsed_seconds()});
+    {
+      TAP_SPAN(name, "planner.pass");
+      passes_[i]->run(ctx);
+    }
+    const double seconds = sw.elapsed_seconds();
+    ctx.timings.push_back({name, seconds});
+    obs::registry().histogram(pass_metric_name(name))->observe(seconds * 1e3);
   }
 }
 
@@ -122,17 +147,26 @@ void FamilySearchPass::run(PlanContext& ctx) const {
   std::vector<FamilySearchOutcome> outcomes(families.size());
   util::ThreadPool pool(families.size() > 1 ? ctx.opts.threads : 1);
   pool.parallel_for(families.size(), [&](std::size_t i) {
+    TAP_SPAN(families[i]->representative, "planner.family");
     outcomes[i] = policy_->search(fctx, *families[i], ctx.plan);
   });
 
   // Deterministic join: merge stats and replay winners in family order.
+  SearchStats pass_stats;
   for (std::size_t i = 0; i < families.size(); ++i) {
-    ctx.stats.merge(outcomes[i].stats);
+    pass_stats.merge(outcomes[i].stats);
     if (outcomes[i].found) {
       sharding::apply_family_choice(*families[i], outcomes[i].choice,
                                     &ctx.plan);
     }
   }
+  ctx.stats.merge(pass_stats);
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.counter("planner.family.searched")->add(families.size());
+  reg.counter("planner.family.candidates")
+      ->add(static_cast<std::uint64_t>(pass_stats.candidate_plans));
+  reg.counter("planner.family.valid_plans")
+      ->add(static_cast<std::uint64_t>(pass_stats.valid_plans));
 }
 
 void GlobalRefinePass::run(PlanContext& ctx) const {

@@ -1,0 +1,182 @@
+#include "obs/metrics.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tap::obs {
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+std::uint64_t Gauge::to_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double Gauge::from_bits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    TAP_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  // Linear scan: bucket lists are short (a dozen decade steps) and the
+  // scan touches no shared state until the single fetch_add.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double s;
+    std::memcpy(&s, &cur, sizeof(s));
+    s += v;
+    std::uint64_t next;
+    std::memcpy(&next, &s, sizeof(next));
+    if (sum_bits_.compare_exchange_weak(cur, next, std::memory_order_relaxed))
+      return;
+  }
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  const std::uint64_t b = sum_bits_.load(std::memory_order_relaxed);
+  double s;
+  std::memcpy(&s, &b, sizeof(s));
+  return s;
+}
+
+std::vector<double> Histogram::default_ms_bounds() {
+  return {0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,
+          10.0, 25.0,  50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Map, typename Make>
+auto* find_or_make(Map& map, std::string_view name, const Make& make) {
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), make()).first;
+  return it->second.get();
+}
+
+/// A name may live in exactly one of the three kind maps.
+template <typename MapA, typename MapB>
+void check_kind_free(const MapA& a, const MapB& b, std::string_view name,
+                     const char* kind) {
+  TAP_CHECK(a.find(name) == a.end() && b.find(name) == b.end())
+      << "metric '" << std::string(name) << "' already registered as a "
+      << "different kind (requested " << kind << ")";
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind_free(gauges_, histograms_, name, "counter");
+  return find_or_make(counters_, name,
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind_free(counters_, histograms_, name, "gauge");
+  return find_or_make(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind_free(counters_, gauges_, name, "histogram");
+  return find_or_make(histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::move(bounds));
+  });
+}
+
+std::string MetricsRegistry::dump_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << json_number(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << json_number(h->sum()) << ",\"buckets\":[";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"le\":";
+      if (i < h->bounds().size())
+        os << json_number(h->bounds()[i]);
+      else
+        os << "\"inf\"";
+      os << ",\"count\":" << h->bucket_count(i) << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+std::string dump_json() { return registry().dump_json(); }
+
+}  // namespace tap::obs

@@ -1,0 +1,171 @@
+// tap::obs — cross-subsystem tracing (the second half of the
+// observability layer; metrics live in obs/metrics.h).
+//
+// One schema. TraceEvent + chrome_trace_json() define the Chrome
+// trace-event JSON every producer exports — the planner's pass spans, the
+// PlannerService's async request spans, the PlanCache's instant events,
+// and sim::Trace (whose to_chrome_json() is now a thin adapter over this
+// writer). Because the schema is shared, a planner run, a service request
+// storm, and a simulated training step land on ONE timeline that
+// chrome://tracing / Perfetto renders directly.
+//
+// One session. A TraceSession collects events while active. Producers
+// never name the session: they call the free helpers (or TAP_SPAN), which
+// consult a process-global atomic session pointer. With no active session
+// the guard is a single relaxed atomic load — no clock read, no
+// allocation, no branch into the slow path — so the instrumentation is
+// compiled into production hot paths and measured (tests/test_obs.cpp,
+// bench assertions) to cost nothing when tracing is off.
+//
+// Threading. Events are appended to per-thread buffers (registered under
+// the session mutex on a thread's first event, lock-free afterwards), so
+// ThreadPool workers trace without contending. The buffers merge at
+// export. Spans opened on a thread must close on that thread (RAII
+// guarantees it); work that migrates across threads — a service request
+// submitted on one thread, completed on another — uses the explicit
+// async_begin / async_end pair, which Chrome renders as a nestable async
+// span keyed by id.
+//
+// Lifetime. stop() (or destruction) deactivates the session; deactivate
+// before destroying, and only after joining any threads still tracing
+// (in-flight ScopedSpans hold the session pointer they captured at open).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tap::obs {
+
+/// One trace event in the shared schema (timestamps in microseconds, the
+/// Chrome trace-event native unit).
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kComplete,    ///< "X": start + duration
+    kInstant,     ///< "i": a point in time (cache hit, coalesce)
+    kAsyncBegin,  ///< "b": explicit begin, paired by id
+    kAsyncEnd,    ///< "e": explicit end, paired by id
+  };
+
+  std::string name;
+  std::string category;
+  Phase phase = Phase::kComplete;
+  double start_us = 0.0;
+  double dur_us = 0.0;      ///< kComplete only
+  int pid = 0;              ///< timeline process (0 = planner, 1 = simulator)
+  std::int64_t tid = 0;     ///< timeline lane (thread, or sim stream)
+  std::uint64_t id = 0;     ///< pairs kAsyncBegin with kAsyncEnd
+};
+
+/// Serializes `events` as Chrome trace-event JSON ({"traceEvents":[...]}).
+/// `process_names` adds "M" metadata records so Perfetto labels the pid
+/// rows ("planner", "simulated step", ...).
+std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const std::map<int, std::string>& process_names = {});
+
+class TraceSession;
+
+/// The active session, or nullptr. One relaxed atomic load — THE disabled
+/// fast path; everything else in this header hides behind it.
+TraceSession* active_session();
+
+/// True while some TraceSession is started.
+inline bool tracing_enabled() { return active_session() != nullptr; }
+
+/// Microseconds on the steady clock (session timestamps are taken
+/// relative to TraceSession::start()).
+double steady_now_us();
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Activates this session as the process-global event sink. At most one
+  /// session is active at a time.
+  void start();
+  /// Deactivates (new spans no-op again) — idempotent.
+  void stop();
+  bool active() const;
+
+  /// Microseconds since start().
+  double now_us() const;
+
+  /// Appends a complete ("X") event with caller-supplied coordinates —
+  /// the import hook sim::Trace::append_to() and tests use to place
+  /// foreign events on this timeline. Thread-safe, works after stop().
+  void add_complete(std::string name, std::string category, double start_us,
+                    double dur_us, int pid, std::int64_t tid);
+
+  /// Point event on the calling thread's lane. No-op unless active.
+  void instant(std::string name, std::string category);
+
+  /// Explicit begin/end for work that crosses threads; `id` pairs them.
+  /// No-op unless active.
+  void async_begin(std::string name, std::string category, std::uint64_t id);
+  void async_end(std::string name, std::string category, std::uint64_t id);
+
+  /// Merged snapshot of every thread's buffer (stable order: thread
+  /// registration order, then append order). Call after stop().
+  std::vector<TraceEvent> events() const;
+
+  /// chrome_trace_json over events(), labelling pid 0 "planner" and
+  /// pid 1 "simulated step".
+  std::string to_chrome_json() const;
+
+  std::size_t thread_buffer_count() const;
+
+ private:
+  friend class ScopedSpan;
+  friend TraceSession* active_session();
+
+  struct ThreadBuffer {
+    std::int64_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer& local_buffer();
+  void append(TraceEvent e);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> foreign_;  ///< add_complete() imports (own tids)
+  double t0_us_ = 0.0;
+  std::uint64_t epoch_ = 0;  ///< distinguishes sessions at a reused address
+};
+
+/// RAII complete-event span. Construction with no active session is the
+/// measured near-zero path: one atomic load, the name pointer is not even
+/// copied into a std::string.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "planner");
+  explicit ScopedSpan(const std::string& name,
+                      const char* category = "planner");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSession* session_;  ///< captured once; null = disabled span
+  std::string name_;
+  const char* category_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace tap::obs
+
+#define TAP_OBS_CONCAT_INNER(a, b) a##b
+#define TAP_OBS_CONCAT(a, b) TAP_OBS_CONCAT_INNER(a, b)
+/// Opens a scoped trace span for the rest of the enclosing block.
+#define TAP_SPAN(...) \
+  ::tap::obs::ScopedSpan TAP_OBS_CONCAT(tap_span_, __LINE__)(__VA_ARGS__)

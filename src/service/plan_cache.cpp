@@ -5,11 +5,35 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tap::service {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Global-registry mirrors of PlanCacheStats, shared by every PlanCache
+/// in the process (the per-instance stats stay exact in stats_).
+struct CacheMetrics {
+  obs::Counter* mem_hits = obs::registry().counter("cache.mem.hits");
+  obs::Counter* mem_misses = obs::registry().counter("cache.mem.misses");
+  obs::Counter* insertions = obs::registry().counter("cache.mem.insertions");
+  obs::Counter* evictions = obs::registry().counter("cache.mem.evictions");
+  obs::Counter* disk_hits = obs::registry().counter("cache.disk.hits");
+  obs::Counter* disk_misses = obs::registry().counter("cache.disk.misses");
+  obs::Counter* disk_rejects = obs::registry().counter("cache.disk.rejects");
+  obs::Counter* disk_writes = obs::registry().counter("cache.disk.writes");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 PlanCache::PlanCache(PlanCacheOptions opts) : opts_(std::move(opts)) {
   TAP_CHECK_GE(opts_.stripes, 1);
@@ -55,6 +79,8 @@ void PlanCache::memory_insert(const PlanKey& key,
       }
     }
   }
+  cache_metrics().insertions->add(1);
+  cache_metrics().evictions->add(evicted);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.insertions;
   stats_.evictions += evicted;
@@ -72,6 +98,7 @@ std::optional<core::PlanRecord> PlanCache::disk_lookup(
   if (path.empty()) return std::nullopt;
   std::ifstream in(path);
   if (!in) {
+    cache_metrics().disk_misses->add(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.disk_misses;
     return std::nullopt;
@@ -80,12 +107,14 @@ std::optional<core::PlanRecord> PlanCache::disk_lookup(
   buf << in.rdbuf();
   try {
     core::PlanRecord record = core::plan_record_from_json(tg, buf.str());
+    cache_metrics().disk_hits->add(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.disk_hits;
     return record;
   } catch (const CheckError&) {
     // Stale version, torn write, or hand-damaged file: treat as a miss —
     // the caller re-searches and the insert overwrites the bad file.
+    cache_metrics().disk_rejects->add(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.disk_rejects;
     return std::nullopt;
@@ -109,6 +138,7 @@ void PlanCache::disk_insert(const PlanKey& key,
     std::remove(tmp.c_str());
     return;
   }
+  cache_metrics().disk_writes->add(1);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.disk_writes;
 }
@@ -116,10 +146,16 @@ void PlanCache::disk_insert(const PlanKey& key,
 std::optional<core::PlanRecord> PlanCache::lookup(const PlanKey& key,
                                                   const ir::TapGraph& tg) {
   if (auto hit = memory_lookup(key)) {
+    cache_metrics().mem_hits->add(1);
+    if (obs::TraceSession* s = obs::active_session())
+      s->instant("cache.mem.hit", "cache");
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.memory_hits;
     return hit;
   }
+  cache_metrics().mem_misses->add(1);
+  if (obs::TraceSession* s = obs::active_session())
+    s->instant("cache.mem.miss", "cache");
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.memory_misses;

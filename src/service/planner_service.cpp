@@ -2,10 +2,31 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sharding/routing.h"
 #include "util/check.h"
 
 namespace tap::service {
+
+namespace {
+
+/// Global-registry mirrors of ServiceStats (per-instance stats stay exact
+/// in PlannerService::stats_).
+struct ServiceMetrics {
+  obs::Counter* requests = obs::registry().counter("service.requests");
+  obs::Counter* searches = obs::registry().counter("service.searches");
+  obs::Counter* cache_hits = obs::registry().counter("service.cache_hits");
+  obs::Counter* coalesced = obs::registry().counter("service.coalesced");
+  obs::Histogram* search_ms = obs::registry().histogram("service.search_ms");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // FamilyResultCache
@@ -133,10 +154,12 @@ core::TapResult PlannerService::run_search(const PlanRequest& req) {
 std::shared_future<core::TapResult> PlannerService::submit(
     const PlanRequest& req) {
   const PlanKey key = key_for(req);
+  service_metrics().requests->add(1);
 
   std::optional<core::PlanRecord> hit;
   auto prom = std::make_shared<std::promise<core::TapResult>>();
   std::shared_future<core::TapResult> fut;
+  std::uint64_t search_seq = 0;
   {
     // Coalesce/lookup/register are one atomic step: a duplicate submitted
     // at ANY point relative to another request's lifetime lands on either
@@ -148,27 +171,40 @@ std::shared_future<core::TapResult> PlannerService::submit(
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       ++stats_.coalesced;
+      service_metrics().coalesced->add(1);
+      if (obs::TraceSession* s = obs::active_session())
+        s->instant("service.coalesced", "service");
       return it->second;
     }
     hit = cache_.lookup(key, *req.tg);
     if (hit) {
       ++stats_.cache_hits;
+      service_metrics().cache_hits->add(1);
     } else {
       fut = prom->get_future().share();
       inflight_.emplace(key, fut);
-      ++stats_.searches;
+      search_seq = ++stats_.searches;
+      service_metrics().searches->add(1);
     }
   }
 
   if (hit) {
     // Materialize outside mu_ (prune + route are pure); concurrent hits
     // for the same key just materialize independently.
+    TAP_SPAN("service.materialize", "service");
     prom->set_value(materialize(req, *hit));
     return prom->get_future().share();
   }
 
+  // The request may complete on another pool thread, so it is traced as
+  // an explicit async span keyed by its search sequence number.
+  if (obs::TraceSession* s = obs::active_session())
+    s->async_begin("service.search", "service", search_seq);
+
   PlanRequest task_req = req;
-  pool_.submit([this, key, task_req, prom] {
+  pool_.submit([this, key, task_req, prom, search_seq] {
+    const bool traced = obs::tracing_enabled();
+    const double t_start_us = traced ? obs::steady_now_us() : 0.0;
     try {
       core::TapResult result = run_search(task_req);
       cache_.insert(key, record_of(result), *task_req.tg);
@@ -176,12 +212,19 @@ std::shared_future<core::TapResult> PlannerService::submit(
         std::lock_guard<std::mutex> lock(mu_);
         inflight_.erase(key);
       }
+      if (traced)
+        service_metrics().search_ms->observe(
+            (obs::steady_now_us() - t_start_us) * 1e-3);
+      if (obs::TraceSession* s = obs::active_session())
+        s->async_end("service.search", "service", search_seq);
       prom->set_value(std::move(result));
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         inflight_.erase(key);
       }
+      if (obs::TraceSession* s = obs::active_session())
+        s->async_end("service.search", "service", search_seq);
       prom->set_exception(std::current_exception());
     }
   });

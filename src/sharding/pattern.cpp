@@ -169,23 +169,31 @@ void add_embedding(std::vector<ShardingPattern>* out, const Node& w,
 }  // namespace
 
 std::string ShardingPattern::to_string() const {
-  std::string s = name + "{in=";
+  // Appends only (no operator+ chains): GCC 12's -Wrestrict false
+  // positive (PR105651) fires on `const char* + std::string&&` under
+  // -O2 inlining, and CI compiles with -Werror.
+  std::string s = name;
+  s += "{in=";
   s += input ? input->to_string() : "*";
-  s += ",w=" + weight.to_string();
+  s += ",w=";
+  s += weight.to_string();
   s += ",out=";
   s += output ? output->to_string() : "*";
   if (forward_comm != Collective::kNone) {
     s += ",fwd=";
     s += collective_name(forward_comm);
-    if (forward_comm_count > 1)
-      s += "x" + std::to_string(forward_comm_count);
+    if (forward_comm_count > 1) {
+      s += 'x';
+      s += std::to_string(forward_comm_count);
+    }
   }
   if (backward_comm != Collective::kNone) {
     s += ",bwd=";
     s += collective_name(backward_comm);
     s += backward_subject == BwdSubject::kWeightGrad ? "(wgrad)" : "(igrad)";
   }
-  return s + "}";
+  s += '}';
+  return s;
 }
 
 ShardingPattern follow_pattern() {

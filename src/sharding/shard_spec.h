@@ -84,7 +84,15 @@ struct MeshSpec {
   int world() const { return dp * tp; }
   static MeshSpec flat(int n) { return {1, n}; }
   std::string to_string() const {
-    return "[" + std::to_string(dp) + ", " + std::to_string(tp) + "]";
+    // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+    // fires a false positive (PR105651) on `const char* + std::string&&`
+    // when inlined, and CI compiles with -Werror.
+    std::string out = "[";
+    out += std::to_string(dp);
+    out += ", ";
+    out += std::to_string(tp);
+    out += ']';
+    return out;
   }
   friend bool operator==(const MeshSpec& a, const MeshSpec& b) {
     return a.dp == b.dp && a.tp == b.tp;

@@ -1,37 +1,35 @@
 #include "sim/trace.h"
 
-#include <sstream>
-
 namespace tap::sim {
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+std::vector<obs::TraceEvent> Trace::to_obs_events(int pid,
+                                                  double offset_us) const {
+  std::vector<obs::TraceEvent> out;
+  out.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    obs::TraceEvent o;
+    o.name = e.name;
+    o.category = e.category;
+    o.phase = obs::TraceEvent::Phase::kComplete;
+    o.start_us = e.start_s * 1e6 + offset_us;
+    o.dur_us = e.duration_s * 1e6;
+    o.pid = pid;
+    o.tid = e.lane;
+    out.push_back(std::move(o));
   }
   return out;
 }
 
-}  // namespace
-
 std::string Trace::to_chrome_json() const {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[\n";
-  bool first = true;
-  for (const TraceEvent& e : events_) {
-    if (!first) os << ",\n";
-    first = false;
-    os << "  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
-       << json_escape(e.category) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
-       << e.lane << ",\"ts\":" << static_cast<long long>(e.start_s * 1e6)
-       << ",\"dur\":" << static_cast<long long>(e.duration_s * 1e6) << "}";
+  return obs::chrome_trace_json(to_obs_events());
+}
+
+void Trace::append_to(obs::TraceSession& session) const {
+  const double offset_us = session.now_us();
+  for (obs::TraceEvent& e : to_obs_events(1, offset_us)) {
+    session.add_complete(std::move(e.name), std::move(e.category), e.start_us,
+                         e.dur_us, e.pid, e.tid);
   }
-  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
-  return os.str();
 }
 
 double Trace::lane_busy_s(int lane) const {

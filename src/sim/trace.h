@@ -2,11 +2,19 @@
 // the Chrome tracing format (chrome://tracing or https://ui.perfetto.dev):
 // one lane for the compute stream, one for the communication stream, so
 // overlap, bubbles and exposed collectives are visible at a glance.
+//
+// The export schema is the observability layer's (obs/trace.h): this
+// class is a sink of simulated-time events that serializes through
+// obs::chrome_trace_json, and append_to() re-bases the events onto an
+// obs::TraceSession so a simulated step shares the timeline of a traced
+// planner run (`tap_cli --profile`).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace tap::sim {
 
@@ -30,8 +38,20 @@ class Trace {
   bool empty() const { return events_.empty(); }
 
   /// Chrome trace-event JSON ("traceEvents" array of complete 'X' events;
-  /// microsecond timestamps).
+  /// microsecond timestamps), via the shared obs::chrome_trace_json
+  /// writer.
   std::string to_chrome_json() const;
+
+  /// The events in the shared obs schema: pid `pid`, tid = lane,
+  /// timestamps shifted by `offset_us` (simulated time starts at 0).
+  std::vector<obs::TraceEvent> to_obs_events(int pid = 0,
+                                             double offset_us = 0.0) const;
+
+  /// Imports this trace into `session` under pid 1 ("simulated step"),
+  /// re-based to the session's current time — the hook `tap_cli
+  /// --profile` uses to put planner spans and the simulated step on one
+  /// timeline.
+  void append_to(obs::TraceSession& session) const;
 
   /// Total busy time per lane, seconds.
   double lane_busy_s(int lane) const;

@@ -4,6 +4,16 @@
 
 namespace tap::util {
 
+namespace internal {
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{obs::registry().gauge("pool.queue_depth"),
+                       obs::registry().histogram("pool.task_wait_ms")};
+  return m;
+}
+
+}  // namespace internal
+
 int ThreadPool::resolve(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -42,6 +52,7 @@ void ThreadPool::worker_loop() {
       if (!tasks_.empty()) {
         task = std::move(tasks_.front());
         tasks_.pop_front();
+        internal::pool_metrics().queue_depth->add(-1.0);
       } else if (batch_ != nullptr && generation_ != seen) {
         seen = generation_;
         batch = batch_;

@@ -41,7 +41,23 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tap::util {
+
+namespace internal {
+/// Process-wide submit()-queue metrics: `pool.queue_depth` gauge and
+/// `pool.task_wait_ms` histogram. The gauge is a relaxed atomic update per
+/// enqueue/dequeue; the wait histogram needs clock reads, so it is only
+/// fed while a TraceSession is active (the planner's parallel_for hot
+/// path is untouched either way).
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_wait_ms;
+};
+PoolMetrics& pool_metrics();
+}  // namespace internal
 
 class ThreadPool {
  public:
@@ -77,9 +93,19 @@ class ThreadPool {
       (*task)();
       return fut;
     }
+    // Clock reads are gated on an active TraceSession; the gauge update
+    // below is a single relaxed atomic either way.
+    const double enqueue_us =
+        obs::tracing_enabled() ? obs::steady_now_us() : 0.0;
     {
       std::lock_guard<std::mutex> lock(m_);
-      tasks_.emplace_back([task] { (*task)(); });
+      tasks_.emplace_back([task, enqueue_us] {
+        if (enqueue_us > 0.0)
+          internal::pool_metrics().task_wait_ms->observe(
+              (obs::steady_now_us() - enqueue_us) * 1e-3);
+        (*task)();
+      });
+      internal::pool_metrics().queue_depth->add(1.0);
     }
     work_cv_.notify_one();
     return fut;

@@ -1,0 +1,414 @@
+// tap::obs — metrics registry and trace-session tests: concurrent
+// counter/histogram hammering with validated totals, span nesting across
+// ThreadPool tasks, Chrome JSON round-trips, and the disabled-session
+// fast path (records nothing, costs ~nothing).
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "service/planner_service.h"
+#include "sim/trace.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace tap::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("a.b.c");
+  EXPECT_EQ(c->value(), 0u);
+  c->add();
+  c->add(41);
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(reg.counter("a.b.c"), c) << "same name -> same handle";
+
+  Gauge* g = reg.gauge("a.depth");
+  g->set(3.0);
+  g->add(-1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), CheckError);
+  EXPECT_THROW(reg.histogram("x"), CheckError);
+}
+
+TEST(ObsMetrics, HistogramBucketAssignment) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat", std::vector<double>{1.0, 2.0, 5.0});
+  h->observe(0.5);   // bucket 0
+  h->observe(1.0);   // bucket 0 (bounds are inclusive upper)
+  h->observe(1.5);   // bucket 1
+  h->observe(5.0);   // bucket 2
+  h->observe(10.0);  // overflow
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->bucket_count(3), 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 18.0);
+}
+
+TEST(ObsMetrics, ConcurrentCounterHammerValidatedTotals) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("hammer.count");
+  Gauge* g = reg.gauge("hammer.depth");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c->add();
+        g->add(1.0);
+        g->add(-1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0) << "balanced +1/-1 adds cancel exactly";
+}
+
+TEST(ObsMetrics, ConcurrentHistogramHammerValidatedTotals) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("hammer.ms", std::vector<double>{1.0, 10.0});
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Thread t observes the constant (t % 3) * 5 — integer-valued doubles,
+    // so the CAS-accumulated sum must be exact.
+    threads.emplace_back([&, t] {
+      const double v = static_cast<double>(t % 3) * 5.0;
+      for (int i = 0; i < kIters; ++i) h->observe(v);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t n = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(h->count(), n);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h->bounds().size(); ++i)
+    bucket_total += h->bucket_count(i);
+  EXPECT_EQ(bucket_total, n);
+  // Threads 0,3,6 observed 0; 1,4,7 observed 5; 2,5 observed 10.
+  EXPECT_DOUBLE_EQ(h->sum(), (3 * 5.0 + 2 * 10.0) * kIters);
+  EXPECT_EQ(h->bucket_count(0), 3u * kIters);  // 0 <= 1
+  EXPECT_EQ(h->bucket_count(1), 5u * kIters);  // 5 and 10 <= 10
+}
+
+TEST(ObsMetrics, DumpJsonShapeAndReset) {
+  MetricsRegistry reg;
+  reg.counter("z.last")->add(7);
+  reg.counter("a.first")->add(1);
+  reg.gauge("g.depth")->set(2.5);
+  reg.histogram("h.ms", std::vector<double>{1.0})->observe(0.5);
+  const std::string json = reg.dump_json();
+  EXPECT_NE(json.find("\"counters\":{\"a.first\":1,\"z.last\":7}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"g.depth\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.ms\":{\"count\":1,\"sum\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"inf\",\"count\":0}"), std::string::npos);
+
+  Counter* c = reg.counter("a.first");
+  reg.reset();
+  EXPECT_EQ(c->value(), 0u) << "reset zeroes values, handles stay valid";
+  EXPECT_EQ(reg.histogram("h.ms")->count(), 0u);
+}
+
+TEST(ObsMetrics, PlannerRunPopulatesGlobalRegistry) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 1;
+
+  Counter* candidates = registry().counter("planner.family.candidates");
+  Histogram* prune_ms = registry().histogram("planner.pass.prune_ms");
+  const std::uint64_t cand_before = candidates->value();
+  const std::uint64_t prune_before = prune_ms->count();
+
+  auto result = core::auto_parallel(tg, opts);
+  EXPECT_EQ(candidates->value() - cand_before,
+            static_cast<std::uint64_t>(result.candidate_plans))
+      << "the global counter mirrors the result's statistic";
+  EXPECT_EQ(prune_ms->count(), prune_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  ASSERT_EQ(active_session(), nullptr);
+  {
+    TAP_SPAN("never.recorded");
+    TAP_SPAN(std::string("also.never"), "cat");
+  }
+  TraceSession session;
+  session.start();
+  session.stop();
+  EXPECT_TRUE(session.events().empty());
+  EXPECT_EQ(session.thread_buffer_count(), 0u)
+      << "disabled spans must not even allocate a thread buffer";
+}
+
+TEST(ObsTrace, DisabledSpanOverheadNegligible) {
+  ASSERT_EQ(active_session(), nullptr);
+  // The guard is one relaxed atomic load; 1e6 disabled spans must be far
+  // under a second even with sanitizers instrumenting the load. The bound
+  // is deliberately loose (1us/span vs the ~1ns expected) — it catches a
+  // clock read or allocation sneaking into the disabled path, not noise.
+  constexpr int kSpans = 1000000;
+  util::Stopwatch sw;
+  for (int i = 0; i < kSpans; ++i) {
+    TAP_SPAN("overhead.probe");
+  }
+  const double per_span_us = sw.elapsed_seconds() * 1e6 / kSpans;
+  EXPECT_LT(per_span_us, 1.0)
+      << "disabled TAP_SPAN costs " << per_span_us << "us";
+}
+
+TEST(ObsTrace, SessionExclusiveAndRestartable) {
+  TraceSession a;
+  a.start();
+  EXPECT_TRUE(a.active());
+  EXPECT_EQ(active_session(), &a);
+  TraceSession b;
+  EXPECT_THROW(b.start(), CheckError);
+  a.stop();
+  EXPECT_EQ(active_session(), nullptr);
+  b.start();
+  EXPECT_TRUE(b.active());
+  b.stop();
+}
+
+TEST(ObsTrace, SpanNestingOnOneThread) {
+  TraceSession session;
+  session.start();
+  {
+    TAP_SPAN("outer");
+    TAP_SPAN("inner");
+  }
+  session.stop();
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes (and records) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Containment: outer.start <= inner.start, inner.end <= outer.end.
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[1].start_us + events[1].dur_us,
+            events[0].start_us + events[0].dur_us);
+}
+
+TEST(ObsTrace, SpanNestingAcrossThreadPoolTasks) {
+  TraceSession session;
+  session.start();
+  constexpr std::size_t kTasks = 16;
+  {
+    TAP_SPAN("parallel_for");
+    util::ThreadPool pool(4);
+    pool.parallel_for(kTasks, [&](std::size_t i) {
+      TAP_SPAN("task." + std::to_string(i), "test");
+      TAP_SPAN("task." + std::to_string(i) + ".inner", "test");
+    });
+  }
+  session.stop();
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2 * kTasks + 1);
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    const std::string task = "task." + std::to_string(i);
+    const auto outer = std::find_if(events.begin(), events.end(),
+                                    [&](const auto& e) { return e.name == task; });
+    const auto inner =
+        std::find_if(events.begin(), events.end(), [&](const auto& e) {
+          return e.name == task + ".inner";
+        });
+    ASSERT_NE(outer, events.end()) << task;
+    ASSERT_NE(inner, events.end()) << task;
+    // A scoped span closes on the thread that opened it, so the pair
+    // shares a lane and nests.
+    EXPECT_EQ(outer->tid, inner->tid);
+    EXPECT_LE(outer->start_us,
+              inner->start_us + 1e-6);  // fp slack on equal clock reads
+    EXPECT_GE(outer->start_us + outer->dur_us + 1e-6,
+              inner->start_us + inner->dur_us);
+  }
+  // 4 pool threads at most (3 workers + caller), each lane registered once.
+  EXPECT_GE(session.thread_buffer_count(), 1u);
+  EXPECT_LE(session.thread_buffer_count(), 4u);
+}
+
+TEST(ObsTrace, AsyncBeginEndPairAcrossThreads) {
+  TraceSession session;
+  session.start();
+  session.async_begin("req", "service", 7);
+  std::thread worker([&] { session.async_end("req", "service", 7); });
+  worker.join();
+  session.stop();
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kAsyncBegin);
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kAsyncEnd);
+  EXPECT_EQ(events[0].id, 7u);
+  EXPECT_EQ(events[1].id, 7u);
+  EXPECT_NE(events[0].tid, events[1].tid) << "ended on a different lane";
+  const std::string json = session.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"b\",\"id\":\"7\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"e\",\"id\":\"7\""), std::string::npos);
+}
+
+// Pulls every occurrence of a quoted string field out of a JSON document —
+// enough parsing to verify the writer round-trips names and timestamps.
+std::vector<std::string> extract_all(const std::string& json,
+                                     const std::string& key) {
+  std::vector<std::string> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    if (json[pos] == '"') {
+      std::size_t end = pos + 1;
+      while (end < json.size() &&
+             (json[end] != '"' || json[end - 1] == '\\'))
+        ++end;
+      out.push_back(json.substr(pos + 1, end - pos - 1));
+      pos = end;
+    } else {
+      std::size_t end = pos;
+      while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+      out.push_back(json.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  return out;
+}
+
+TEST(ObsTrace, ChromeJsonRoundTripsNamesAndTimestamps) {
+  TraceSession session;
+  session.add_complete("alpha", "forward", 1000.0, 250.0, 1, 3);
+  session.add_complete("beta \"quoted\"", "comm", 2000.0, 125.0, 1, 4);
+  const std::string json = session.to_chrome_json();
+
+  // Structurally sound: balanced braces/brackets, one traceEvents array.
+  long depth = 0;
+  long min_depth = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    min_depth = std::min(min_depth, depth);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_GE(min_depth, 0);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const auto names = extract_all(json, "name");
+  // Two process-name metadata records contribute two "name" fields each
+  // ("process_name" + the label in args), then the two events.
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[1], "planner");
+  EXPECT_EQ(names[3], "simulated step");
+  EXPECT_EQ(names[4], "alpha");
+  EXPECT_EQ(names[5], "beta \\\"quoted\\\"");  // escaped in transport
+  const auto ts = extract_all(json, "ts");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0], "1000");
+  EXPECT_EQ(ts[1], "2000");
+  const auto dur = extract_all(json, "dur");
+  ASSERT_EQ(dur.size(), 2u);
+  EXPECT_EQ(dur[0], "250");
+  EXPECT_EQ(dur[1], "125");
+}
+
+TEST(ObsTrace, SimTraceImportsOntoSessionTimeline) {
+  sim::Trace trace;
+  trace.add("matmul", "forward", 0.001, 0.002, 0);
+  trace.add("allreduce", "comm", 0.003, 0.004, 1);
+
+  TraceSession session;
+  session.start();
+  {
+    TAP_SPAN("plan");
+  }
+  trace.append_to(session);
+  session.stop();
+
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 3u);
+  double plan_end = 0.0;
+  int sim_events = 0;
+  for (const auto& e : events) {
+    if (e.name == "plan") {
+      EXPECT_EQ(e.pid, 0);
+      plan_end = e.start_us + e.dur_us;
+    } else {
+      EXPECT_EQ(e.pid, 1) << "simulated events land on their own process";
+      ++sim_events;
+    }
+  }
+  EXPECT_EQ(sim_events, 2);
+  for (const auto& e : events) {
+    if (e.pid == 1) {
+      EXPECT_GE(e.start_us, plan_end)
+          << "sim events are re-based after the planner span";
+    }
+  }
+}
+
+TEST(ObsTrace, ServiceRequestEmitsCacheAndServiceEvents) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  core::TapOptions opts;
+  opts.num_shards = 4;
+  opts.threads = 1;
+
+  TraceSession session;
+  session.start();
+  {
+    service::ServiceOptions sopts;
+    sopts.request_threads = 1;
+    service::PlannerService svc(sopts);
+    svc.plan({&tg, opts, false});  // miss -> async search span
+    svc.plan({&tg, opts, false});  // memory hit -> instant
+  }
+  session.stop();
+
+  bool miss = false, hit = false, begin = false, end = false, pass = false;
+  for (const auto& e : session.events()) {
+    miss |= e.name == "cache.mem.miss";
+    hit |= e.name == "cache.mem.hit";
+    begin |= e.phase == TraceEvent::Phase::kAsyncBegin &&
+             e.name == "service.search";
+    end |= e.phase == TraceEvent::Phase::kAsyncEnd &&
+           e.name == "service.search";
+    pass |= e.category == "planner.pass";
+  }
+  EXPECT_TRUE(miss);
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(begin);
+  EXPECT_TRUE(end);
+  EXPECT_TRUE(pass) << "the search's pipeline spans share the timeline";
+}
+
+}  // namespace
+}  // namespace tap::obs

@@ -162,7 +162,7 @@ TEST(Hash128, OrderingIsTotal) {
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(sw.elapsed_seconds(), 0.0);
   EXPECT_GE(sw.elapsed_millis(), sw.elapsed_seconds() * 1e3 * 0.99);
   double before = sw.elapsed_seconds();
