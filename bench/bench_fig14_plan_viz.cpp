@@ -20,12 +20,17 @@ int main() {
     for (const char* name : {"DP", "MHA", "FFN", "Megatron"}) {
       auto plan = baselines::named_expert_plan(name, w.tg, cluster.world());
       std::cout << "---- expert plan: " << name << " ----\n";
+      // Per-op comm annotations come from the attribution ledger the cost
+      // model fills — the same source --explain reports read.
+      auto routed = sharding::route_plan(w.tg, plan);
+      cost::CommLedger ledger;
+      cost::comm_cost(routed, cluster.world(), cluster, {}, &ledger);
       // Show only the encoder block family to keep the figure readable.
       pruning::PruneResult block_only;
       for (const auto& f : pruned.families)
         if (f.representative.find("encoder/block_0") != std::string::npos)
           block_only.families.push_back(f);
-      std::cout << core::visualize_plan(w.tg, plan, block_only);
+      std::cout << core::visualize_plan(w.tg, plan, block_only, &ledger);
     }
   }
 
@@ -35,8 +40,11 @@ int main() {
     topts.num_shards = cluster.world();
     topts.cluster = cluster;
     auto tap = core::auto_parallel(w.tg, topts);
+    cost::CommLedger ledger;
+    cost::comm_cost(tap.routed, cluster.world(), cluster, {}, &ledger);
     std::cout << "---- TAP discovered best (batch " << batch << ") ----\n";
-    std::cout << core::visualize_plan(w.tg, tap.best_plan, tap.pruning);
+    std::cout << core::visualize_plan(w.tg, tap.best_plan, tap.pruning,
+                                      &ledger);
     std::printf("search: %lld candidates, %.1f ms, comm cost %.2f ms\n\n",
                 static_cast<long long>(tap.candidate_plans),
                 tap.search_seconds * 1e3, tap.cost.total() * 1e3);

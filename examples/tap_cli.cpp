@@ -23,6 +23,17 @@
 //           [--stats FILE|-]                  obs::dump_json() metrics
 //                                             snapshot ("-" = stdout)
 //           [--viz]                           print the plan (Fig. 14 style)
+//           [--explain]                       print the plan report: top-K
+//                                             comm contributors, pruning
+//                                             savings, simulated critical
+//                                             path (report/report.h)
+//           [--diff-baseline NAME]            add a plan diff vs an expert
+//                                             baseline (dp | megatron |
+//                                             mha | ffn) to the report
+//           [--report FILE]                   write the report JSON to FILE
+//                                             (implies --explain)
+//           [--topk N]                        contributors before the
+//                                             "(other)" rollup (default 10)
 //
 // With no arguments: plans T5 with 8+8 layers for 2x8 V100s with an
 // automatic mesh sweep and prints the summary.
@@ -37,8 +48,10 @@
 #include "core/visualize.h"
 #include "ir/lowering.h"
 #include "models/models.h"
+#include "baselines/expert_plans.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "report/report.h"
 #include "service/planner_service.h"
 #include "sim/simulator.h"
 #include "util/strings.h"
@@ -56,9 +69,10 @@ struct Args {
   int threads = 1;
   int pipeline = 1;
   bool amp = false, recompute = false, zero1 = false, xla = false, viz = false;
-  bool no_cache = false;
+  bool no_cache = false, explain = false;
+  int topk = 10;
   std::string save_plan, load_plan, trace_path, cache_dir;
-  std::string profile_path, stats_path;
+  std::string profile_path, stats_path, report_path, diff_baseline;
 };
 
 bool parse(int argc, char** argv, Args* a) {
@@ -114,6 +128,16 @@ bool parse(int argc, char** argv, Args* a) {
       a->profile_path = v;
     } else if (!std::strcmp(f, "--stats") && (v = need_value(i))) {
       a->stats_path = v;
+    } else if (!std::strcmp(f, "--explain")) {
+      a->explain = true;
+    } else if (!std::strcmp(f, "--diff-baseline") && (v = need_value(i))) {
+      a->diff_baseline = v;
+      a->explain = true;
+    } else if (!std::strcmp(f, "--report") && (v = need_value(i))) {
+      a->report_path = v;
+      a->explain = true;
+    } else if (!std::strcmp(f, "--topk") && (v = need_value(i))) {
+      a->topk = std::atoi(v);
     } else {
       std::cerr << "unknown flag: " << f << "\n";
       return false;
@@ -282,6 +306,42 @@ int main(int argc, char** argv) {
               step.comm_s * 1e3, step.exposed_comm_s * 1e3,
               util::human_bytes(static_cast<double>(step.memory.total()))
                   .c_str());
+
+  if (args.explain) {
+    report::ReportOptions ropts;
+    ropts.top_k = args.topk;
+    ropts.sim = sopts;
+    ropts.sim.trace = nullptr;  // the report records its own trace
+    ropts.model_name = model.name();
+    report::PlanReport report = report::build_report(tg, result, opts, ropts);
+    if (!args.diff_baseline.empty()) {
+      std::string name;
+      if (args.diff_baseline == "dp") name = "DP";
+      if (args.diff_baseline == "megatron") name = "Megatron";
+      if (args.diff_baseline == "mha") name = "MHA";
+      if (args.diff_baseline == "ffn") name = "FFN";
+      if (name.empty()) {
+        std::cerr << "unknown --diff-baseline '" << args.diff_baseline
+                  << "' (want dp | megatron | mha | ffn), skipping diff\n";
+      } else {
+        auto theirs =
+            baselines::named_expert_plan(name, tg, opts.cluster.world());
+        if (!sharding::route_plan(tg, theirs).valid) {
+          std::cerr << "baseline " << name
+                    << " does not route on this model, skipping diff\n";
+        } else {
+          report::attach_baseline_diff(&report, tg, result, theirs, name,
+                                       opts);
+        }
+      }
+    }
+    std::cout << report::to_text(report);
+    if (!args.report_path.empty()) {
+      std::ofstream out(args.report_path);
+      out << report::to_json(report) << "\n";
+      std::printf("report written to %s\n", args.report_path.c_str());
+    }
+  }
 
   if (!args.save_plan.empty()) {
     std::ofstream out(args.save_plan);

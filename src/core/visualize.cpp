@@ -1,14 +1,22 @@
 #include "core/visualize.h"
 
 #include <sstream>
+#include <vector>
 
 #include "util/strings.h"
+#include "util/table.h"
 
 namespace tap::core {
 
 std::string visualize_plan(const ir::TapGraph& tg,
                            const sharding::ShardingPlan& plan,
-                           const pruning::PruneResult& pruning) {
+                           const pruning::PruneResult& pruning,
+                           const cost::CommLedger* ledger) {
+  std::vector<double> exposed_s;
+  std::vector<std::int64_t> bytes;
+  if (ledger != nullptr)
+    ledger->per_node(tg.num_nodes(), &exposed_s, &bytes);
+
   std::ostringstream os;
   for (const auto& family : pruning.families) {
     bool weighted = false;
@@ -34,7 +42,23 @@ std::string visualize_plan(const ir::TapGraph& tg,
       std::string label = family.relnames[j] == "."
                               ? util::path_leaf(family.representative)
                               : family.relnames[j].substr(1);
-      os << "|   [" << spec << "] " << label << " -> " << pat << "\n";
+      os << "|   [" << spec << "] " << label << " -> " << pat;
+      if (ledger != nullptr) {
+        // Sum the ledger attribution over every instance of this member.
+        std::int64_t member_bytes = 0;
+        double member_exposed = 0.0;
+        for (const auto& instance : family.instance_nodes) {
+          const auto i = static_cast<std::size_t>(instance[j]);
+          member_bytes += bytes[i];
+          member_exposed += exposed_s[i];
+        }
+        if (member_bytes > 0 || member_exposed > 0.0) {
+          os << "  | comm "
+             << util::human_bytes(static_cast<double>(member_bytes)) << ", "
+             << util::fmt("%.3f", member_exposed * 1e3) << " ms exposed";
+        }
+      }
+      os << "\n";
     }
     os << "+--\n";
   }

@@ -11,9 +11,13 @@ namespace tap::core {
 
 /// Renders `plan` family by family. Weighted GraphNodes show their
 /// pattern name and weight layout ("q -> split_col w=S(1)"); replicated
-/// variables render as "R" boxes like the paper's figure.
+/// variables render as "R" boxes like the paper's figure. When `ledger`
+/// is given (the attribution comm_cost() filled for this plan), each
+/// member is annotated with its communication bytes and exposed time
+/// summed over every family instance.
 std::string visualize_plan(const ir::TapGraph& tg,
                            const sharding::ShardingPlan& plan,
-                           const pruning::PruneResult& pruning);
+                           const pruning::PruneResult& pruning,
+                           const cost::CommLedger* ledger = nullptr);
 
 }  // namespace tap::core

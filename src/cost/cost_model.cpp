@@ -10,10 +10,47 @@ namespace tap::cost {
 using sharding::Collective;
 using sharding::CommEvent;
 
+double CommLedger::exposed_seconds() const {
+  double s = 0.0;
+  for (const CommLedgerEntry& e : entries) s += e.exposed_seconds;
+  return s;
+}
+
+double CommLedger::busy_seconds() const {
+  double s = 0.0;
+  for (const CommLedgerEntry& e : entries) s += e.seconds;
+  return s;
+}
+
+std::int64_t CommLedger::total_bytes() const {
+  std::int64_t b = 0;
+  for (const CommLedgerEntry& e : entries) b += e.bytes;
+  return b;
+}
+
+void CommLedger::per_node(std::size_t num_nodes,
+                          std::vector<double>* exposed_s,
+                          std::vector<std::int64_t>* bytes) const {
+  if (exposed_s != nullptr) exposed_s->assign(num_nodes, 0.0);
+  if (bytes != nullptr) bytes->assign(num_nodes, 0);
+  for (const CommLedgerEntry& e : entries) {
+    if (e.node == ir::kInvalidGraphNode) continue;
+    const auto i = static_cast<std::size_t>(e.node);
+    if (i >= num_nodes) continue;
+    if (exposed_s != nullptr) (*exposed_s)[i] += e.exposed_seconds;
+    if (bytes != nullptr) (*bytes)[i] += e.bytes;
+  }
+}
+
 PlanCost comm_cost(const sharding::RoutedPlan& routed, int num_shards,
-                   const ClusterSpec& cluster, const CostOptions& opts) {
+                   const ClusterSpec& cluster, const CostOptions& opts,
+                   CommLedger* ledger) {
   TAP_CHECK(routed.valid) << "cannot cost an invalid plan: " << routed.error;
   PlanCost cost;
+  if (ledger != nullptr) {
+    ledger->entries.clear();
+    ledger->entries.reserve(routed.comms.size());
+  }
   for (const CommEvent& e : routed.comms) {
     const int group = e.group > 0 ? e.group : num_shards;
     const double t =
@@ -27,13 +64,39 @@ PlanCost comm_cost(const sharding::RoutedPlan& routed, int num_shards,
     } else {
       cost.backward_comm_s += t;
     }
+    if (ledger != nullptr) {
+      CommLedgerEntry le;
+      le.node = e.node;
+      le.kind = e.kind;
+      le.phase = e.phase;
+      le.overlappable = e.overlappable;
+      le.cross_node = e.cross_node;
+      le.count = e.count;
+      le.group = group;
+      le.bytes = e.bytes * e.count;
+      le.seconds = t;
+      // Overlappable entries get their share of the discount below.
+      le.exposed_seconds = e.overlappable ? 0.0 : t;
+      le.reason = e.reason;
+      ledger->entries.push_back(std::move(le));
+    }
   }
+  double exposed_overlap;
   if (opts.overlap_window_s >= 0.0) {
-    cost.backward_comm_s +=
+    exposed_overlap =
         std::max(0.0, cost.overlappable_comm_s - opts.overlap_window_s);
   } else {
-    cost.backward_comm_s +=
+    exposed_overlap =
         cost.overlappable_comm_s * opts.exposed_overlap_fraction;
+  }
+  cost.backward_comm_s += exposed_overlap;
+  if (ledger != nullptr) {
+    const double frac = cost.overlappable_comm_s > 0.0
+                            ? exposed_overlap / cost.overlappable_comm_s
+                            : 0.0;
+    ledger->exposed_fraction = frac;
+    for (CommLedgerEntry& le : ledger->entries)
+      if (le.overlappable) le.exposed_seconds = le.seconds * frac;
   }
   return cost;
 }

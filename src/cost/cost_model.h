@@ -43,10 +43,58 @@ struct PlanCost {
   double total() const { return forward_comm_s + backward_comm_s; }
 };
 
+// ---------------------------------------------------------------------------
+// Per-collective cost attribution (the --explain ledger)
+// ---------------------------------------------------------------------------
+
+/// One routed collective, costed. `seconds` is the full busy time of the
+/// collective (count included); `exposed_seconds` is its contribution to
+/// PlanCost::total() after the overlap discount — the ledger's
+/// exposed_seconds sum reproduces the scalar plan cost exactly.
+struct CommLedgerEntry {
+  ir::GraphNodeId node = ir::kInvalidGraphNode;  ///< owning GraphNode
+  sharding::Collective kind = sharding::Collective::kNone;
+  sharding::CommEvent::Phase phase = sharding::CommEvent::Phase::kForward;
+  bool overlappable = false;
+  bool cross_node = false;
+  int count = 1;
+  int group = 0;           ///< resolved collective group size
+  std::int64_t bytes = 0;  ///< logical bytes over all `count` launches
+  double seconds = 0.0;
+  double exposed_seconds = 0.0;
+  std::string reason;  ///< routing reason ("reshard ...", "pattern ...")
+};
+
+/// The per-collective breakdown comm_cost() optionally fills: one entry
+/// per routed CommEvent plus the overlap discount actually applied. This
+/// is the single source of truth for cost attribution — PlanReport,
+/// core::visualize_plan and bench_fig14 all read it instead of recosting
+/// events ad hoc.
+struct CommLedger {
+  std::vector<CommLedgerEntry> entries;
+  /// Fraction of overlappable comm time left exposed under the
+  /// CostOptions used (window mode or the configured fraction).
+  double exposed_fraction = 0.0;
+
+  /// Σ exposed_seconds == PlanCost::total() (modulo addition order).
+  double exposed_seconds() const;
+  /// Σ seconds: total collective busy time before any overlap discount.
+  double busy_seconds() const;
+  std::int64_t total_bytes() const;
+  /// Scatters the entries onto per-GraphNode accumulators (vectors are
+  /// assigned to `num_nodes` zeros; either output may be nullptr).
+  void per_node(std::size_t num_nodes, std::vector<double>* exposed_s,
+                std::vector<std::int64_t>* bytes) const;
+};
+
 /// Communication cost of a routed plan on `cluster`. The collective group
-/// is the whole device world (the plan's num_shards).
+/// is the whole device world (the plan's num_shards). When `ledger` is
+/// non-null it receives the per-collective attribution; the scalar result
+/// is unchanged (the hot search path passes nullptr and allocates
+/// nothing).
 PlanCost comm_cost(const sharding::RoutedPlan& routed, int num_shards,
-                   const ClusterSpec& cluster, const CostOptions& opts = {});
+                   const ClusterSpec& cluster, const CostOptions& opts = {},
+                   CommLedger* ledger = nullptr);
 
 /// Backward-pass compute time of the clusters in `members` (nullptr = the
 /// whole graph) under the routed plan's sharding — the overlap window fed

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <sstream>
 
@@ -102,6 +104,17 @@ std::string json_number(double v) {
   return os.str();
 }
 
+/// Prometheus metric name: "tap_" prefix, every non-alphanumeric
+/// character (the hierarchical '.', '-', ...) replaced by '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "tap_";
+  out.reserve(out.size() + name.size());
+  for (char c : name)
+    out.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  return out;
+}
+
 }  // namespace
 
 Counter* MetricsRegistry::counter(std::string_view name) {
@@ -165,6 +178,45 @@ std::string MetricsRegistry::dump_json() const {
   return os.str();
 }
 
+std::string MetricsRegistry::dump_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n"
+       << n << " " << json_number(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      os << n << "_bucket{le=\"";
+      if (i < h->bounds().size())
+        os << json_number(h->bounds()[i]);
+      else
+        os << "+Inf";
+      os << "\"} " << cum << "\n";
+    }
+    os << n << "_sum " << json_number(h->sum()) << "\n"
+       << n << "_count " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;  // map iteration order is already sorted
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
@@ -178,5 +230,31 @@ MetricsRegistry& registry() {
 }
 
 std::string dump_json() { return registry().dump_json(); }
+
+std::string dump_prometheus() { return registry().dump_prometheus(); }
+
+double histogram_quantile(const Histogram& h, double q) {
+  const std::uint64_t n = h.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  const auto& bounds = h.bounds();
+  if (bounds.empty()) return 0.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(h.bucket_count(i));
+    if (cum + in_bucket >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      if (in_bucket <= 0.0) return lo;
+      return lo + (hi - lo) *
+                      std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  // The q-th observation sits in the +inf overflow bucket: clamp to the
+  // largest finite bound (the Prometheus convention).
+  return bounds.back();
+}
 
 }  // namespace tap::obs

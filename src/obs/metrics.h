@@ -124,6 +124,17 @@ class MetricsRegistry {
   ///    {"count":N,"sum":S,"buckets":[{"le":B,"count":N},...]}}}
   std::string dump_json() const;
 
+  /// Prometheus text exposition of the same snapshot: every metric gets a
+  /// `# TYPE` line; histograms expose cumulative `_bucket{le="..."}`
+  /// series (including the `+Inf` bucket) plus `_sum` and `_count`. Names
+  /// are prefixed "tap_" and sanitized (every non-alphanumeric character,
+  /// notably the hierarchical '.', becomes '_').
+  std::string dump_prometheus() const;
+
+  /// Registered histogram names, sorted (for consumers — the report's
+  /// latency section — that iterate without registering anything).
+  std::vector<std::string> histogram_names() const;
+
   /// Zeroes every value (handles stay valid). For tests and for benches
   /// isolating one phase.
   void reset();
@@ -141,5 +152,15 @@ MetricsRegistry& registry();
 /// dump_json() of the process-wide registry — what `tap_cli --stats` and
 /// the bench JSON emitter write.
 std::string dump_json();
+
+/// dump_prometheus() of the process-wide registry.
+std::string dump_prometheus();
+
+/// Prometheus-style quantile estimate (q in [0, 1]) from a histogram's
+/// fixed buckets: linear interpolation inside the bucket holding the q-th
+/// observation, assuming uniform spread within the bucket (the first
+/// bucket interpolates from 0, the +inf overflow bucket clamps to the
+/// largest finite bound). Returns 0 for an empty histogram.
+double histogram_quantile(const Histogram& h, double q);
 
 }  // namespace tap::obs

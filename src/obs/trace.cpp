@@ -74,6 +74,16 @@ std::string chrome_trace_json(
        << ",\"ts\":" << static_cast<long long>(e.start_us);
     if (e.phase == TraceEvent::Phase::kComplete)
       os << ",\"dur\":" << static_cast<long long>(e.dur_us);
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : e.args) {
+        if (!afirst) os << ",";
+        afirst = false;
+        os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+      }
+      os << "}";
+    }
     os << "}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -138,7 +148,8 @@ void TraceSession::append(TraceEvent e) {
 
 void TraceSession::add_complete(std::string name, std::string category,
                                 double start_us, double dur_us, int pid,
-                                std::int64_t tid) {
+                                std::int64_t tid,
+                                std::map<std::string, std::string> args) {
   TraceEvent e;
   e.name = std::move(name);
   e.category = std::move(category);
@@ -147,6 +158,7 @@ void TraceSession::add_complete(std::string name, std::string category,
   e.dur_us = dur_us;
   e.pid = pid;
   e.tid = tid;
+  e.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
   foreign_.push_back(std::move(e));
 }

@@ -58,6 +58,9 @@ struct TraceEvent {
   int pid = 0;              ///< timeline process (0 = planner, 1 = simulator)
   std::int64_t tid = 0;     ///< timeline lane (thread, or sim stream)
   std::uint64_t id = 0;     ///< pairs kAsyncBegin with kAsyncEnd
+  /// Perfetto-visible attributes ("bytes", "collective", "shape", ...),
+  /// emitted as the Chrome JSON "args" object when non-empty.
+  std::map<std::string, std::string> args;
 };
 
 /// Serializes `events` as Chrome trace-event JSON ({"traceEvents":[...]}).
@@ -102,7 +105,8 @@ class TraceSession {
   /// the import hook sim::Trace::append_to() and tests use to place
   /// foreign events on this timeline. Thread-safe, works after stop().
   void add_complete(std::string name, std::string category, double start_us,
-                    double dur_us, int pid, std::int64_t tid);
+                    double dur_us, int pid, std::int64_t tid,
+                    std::map<std::string, std::string> args = {});
 
   /// Point event on the calling thread's lane. No-op unless active.
   void instant(std::string name, std::string category);

@@ -231,6 +231,35 @@ std::shared_future<core::TapResult> PlannerService::submit(
   return fut;
 }
 
+std::shared_ptr<const report::PlanReport> PlannerService::explain(
+    const PlanRequest& req) {
+  const PlanKey key = key_for(req);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = reports_.find(key);
+    if (it != reports_.end()) {
+      ++stats_.report_hits;
+      return it->second;
+    }
+  }
+  // Plan through the normal submit path (coalesced / cached), then build
+  // the report outside mu_ — it re-simulates a step, which is far too slow
+  // to hold the service lock across. Reports are deterministic, so if two
+  // explains race here, both builds produce identical content and the
+  // first insert wins.
+  core::TapResult result = plan(req);
+  auto built = std::make_shared<const report::PlanReport>(
+      report::build_report(*req.tg, result, req.opts, opts_.report));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = reports_.emplace(key, std::move(built));
+  if (inserted) {
+    ++stats_.report_builds;
+  } else {
+    ++stats_.report_hits;
+  }
+  return it->second;
+}
+
 ServiceStats PlannerService::stats() const {
   ServiceStats s;
   {

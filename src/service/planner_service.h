@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "core/tap.h"
+#include "report/report.h"
 #include "service/fingerprint.h"
 #include "service/plan_cache.h"
 #include "util/thread_pool.h"
@@ -69,6 +70,9 @@ struct ServiceStats {
   /// Family-level reuse inside cache-missing searches.
   std::uint64_t family_hits = 0;
   std::uint64_t family_misses = 0;
+  /// explain() calls that built a fresh PlanReport vs served a cached one.
+  std::uint64_t report_builds = 0;
+  std::uint64_t report_hits = 0;
 };
 
 struct ServiceOptions {
@@ -84,6 +88,8 @@ struct ServiceOptions {
   /// hold a search open on a latch to observe single-flight, and benches
   /// measure pure cache overhead.
   std::function<core::TapResult(const PlanRequest&)> search_override;
+  /// Settings for the PlanReports explain() builds and caches.
+  report::ReportOptions report;
 };
 
 /// Thread-safe Fingerprint -> FamilySearchOutcome map, mutex-striped like
@@ -156,6 +162,13 @@ class PlannerService {
     return submit(req).get();
   }
 
+  /// Plans `req` (through the normal submit path: coalesced / cached) and
+  /// returns its explainability report. Reports are deterministic
+  /// functions of the plan key, so they are cached alongside the plans:
+  /// a repeated explain() returns the SAME shared report instance
+  /// (ServiceStats::report_hits) without re-simulating.
+  std::shared_ptr<const report::PlanReport> explain(const PlanRequest& req);
+
   /// The cache key `req` would be served under (exposed for tests and the
   /// CLI's cache-stats output).
   PlanKey key_for(const PlanRequest& req) const;
@@ -178,11 +191,14 @@ class PlannerService {
   PlanCache cache_;
   std::shared_ptr<FamilyResultCache> families_;
 
-  mutable std::mutex mu_;  ///< guards stats_ and inflight_
+  mutable std::mutex mu_;  ///< guards stats_, inflight_ and reports_
   ServiceStats stats_;
   std::unordered_map<PlanKey, std::shared_future<core::TapResult>,
                      PlanKeyHash>
       inflight_;
+  std::unordered_map<PlanKey, std::shared_ptr<const report::PlanReport>,
+                     PlanKeyHash>
+      reports_;
 
   /// Declared last: the pool's destructor drains queued searches before
   /// the caches and in-flight map above are torn down.

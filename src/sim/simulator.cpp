@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <map>
 
 #include "cost/collectives.h"
 #include "cost/flops.h"
@@ -15,38 +16,77 @@ namespace {
 using ir::GraphNodeId;
 using sharding::CommEvent;
 
-/// Two-resource list scheduler state (one SPMD device's streams).
+/// Finish time of a scheduled task plus the trace-event index that
+/// produced it (-1 = nothing recorded), so successors can name the event
+/// whose completion gates their start.
+struct Done {
+  double t = 0.0;
+  std::int64_t ev = -1;
+};
+
+/// Two-resource list scheduler state (one SPMD device's streams). When a
+/// trace is attached, every task records which predecessor bound its
+/// start time — the dependency chain report::analyze_critical_path walks.
 struct Streams {
+  using Args = std::map<std::string, std::string>;
+
   double compute_free = 0.0;
   double comm_free = 0.0;
   double makespan = 0.0;
+  std::int64_t compute_ev = -1;  ///< last event on the compute lane
+  std::int64_t comm_ev = -1;     ///< last event on the comm lane
+  std::int64_t makespan_ev = -1;
   Trace* trace = nullptr;
   const char* phase = "forward";
 
-  void record(const std::string& name, double start, double dur, int lane) {
+  Done run_compute(Done ready, double dur, const std::string& name = {},
+                   Args args = {}) {
+    const double start = std::max(ready.t, compute_free);
+    // The binding constraint names the predecessor: the compute lane if
+    // it freed last, otherwise the data dependency.
+    std::int64_t pred = compute_free >= ready.t ? compute_ev : ready.ev;
+    compute_free = start + dur;
+    std::int64_t ev = -1;
     if (trace != nullptr && dur > 0.0)
-      trace->add(name, phase, start, dur, lane);
+      ev = trace->add(name, phase, start, dur, /*lane=*/0, pred,
+                      std::move(args));
+    if (ev < 0) ev = pred;  // zero-duration tasks chain through
+    if (compute_free > makespan) {
+      makespan = compute_free;
+      makespan_ev = ev;
+    }
+    compute_ev = ev;
+    return {compute_free, ev};
   }
 
-  double run_compute(double ready, double dur,
-                     const std::string& name = {}) {
-    double start = std::max(ready, compute_free);
-    compute_free = start + dur;
-    makespan = std::max(makespan, compute_free);
-    record(name, start, dur, /*lane=*/0);
-    return compute_free;
-  }
-  double run_comm(double ready, double dur, bool blocking,
-                  const std::string& name = {}) {
-    double start = std::max(ready, comm_free);
-    if (blocking) start = std::max(start, compute_free);
+  Done run_comm(Done ready, double dur, bool blocking,
+                const std::string& name = {}, Args args = {}) {
+    double start = std::max(ready.t, comm_free);
+    std::int64_t pred = comm_free >= ready.t ? comm_ev : ready.ev;
+    if (blocking && compute_free > start) {
+      start = compute_free;
+      pred = compute_ev;
+    }
     comm_free = start + dur;
     if (blocking) compute_free = comm_free;
-    makespan = std::max(makespan, comm_free);
-    record(name, start, dur, /*lane=*/1);
-    return comm_free;
+    std::int64_t ev = -1;
+    if (trace != nullptr && dur > 0.0)
+      ev = trace->add(name, phase, start, dur, /*lane=*/1, pred,
+                      std::move(args));
+    if (ev < 0) ev = pred;
+    if (comm_free > makespan) {
+      makespan = comm_free;
+      makespan_ev = ev;
+    }
+    comm_ev = ev;
+    if (blocking) compute_ev = ev;
+    return {comm_free, ev};
   }
 };
+
+/// max() over task finishes, keeping the gating event (first wins ties —
+/// deterministic: callers iterate in fixed index order).
+Done later(Done a, Done b) { return b.t > a.t ? b : a; }
 
 }  // namespace
 
@@ -118,33 +158,54 @@ StepBreakdown simulate_step(const ir::TapGraph& tg,
 
   Streams s;
   s.trace = opts.trace;
-  std::vector<double> fwd_finish(tg.num_nodes(), 0.0);
-  std::vector<double> bwd_finish(tg.num_nodes(), 0.0);
+
+  // Per-event Perfetto args — built only when a trace is attached.
+  auto comm_args = [&](const CommEvent& e) {
+    Streams::Args args;
+    if (s.trace == nullptr) return args;
+    args["bytes"] = std::to_string(static_cast<std::int64_t>(
+        static_cast<double>(e.bytes) * amp_bytes));
+    args["collective"] = std::string(sharding::collective_name(e.kind));
+    args["group"] = std::to_string(e.group > 0 ? e.group : D);
+    if (e.count > 1) args["count"] = std::to_string(e.count);
+    if (e.cross_node) args["cross_node"] = "1";
+    return args;
+  };
+  auto compute_args = [&](const ir::GraphNode& n) {
+    Streams::Args args;
+    if (s.trace == nullptr) return args;
+    args["shape"] = n.output.shape.to_string();
+    args["ops"] = std::to_string(n.ops.size());
+    return args;
+  };
+
+  std::vector<Done> fwd_finish(tg.num_nodes());
+  std::vector<Done> bwd_finish(tg.num_nodes());
   const std::vector<GraphNodeId> topo = tg.topo_order();
 
   // --- forward pass ----------------------------------------------------------
   for (GraphNodeId id : topo) {
     const auto& n = tg.node(id);
-    double ready = 0.0;
+    Done ready;
     for (GraphNodeId in : n.inputs)
-      ready = std::max(ready, fwd_finish[static_cast<std::size_t>(in)]);
+      ready = later(ready, fwd_finish[static_cast<std::size_t>(in)]);
     // Layout conversions happen before the consumer computes; pattern
     // collectives right after.
-    double t = ready;
+    Done t = ready;
     for (const CommEvent* e : fwd_comm[static_cast<std::size_t>(id)]) {
       if (e->reason.rfind("reshard", 0) != 0) continue;
       t = s.run_comm(t, comm_time(*e), /*blocking=*/true,
-                     n.name + ":" + e->reason);
+                     n.name + ":" + e->reason, comm_args(*e));
       out.comm_s += comm_time(*e);
       ++out.comm_messages;
     }
     t = s.run_compute(t, fwd_dur[static_cast<std::size_t>(id)],
-                      n.name + ":fwd");
+                      n.name + ":fwd", compute_args(n));
     out.forward_compute_s += fwd_dur[static_cast<std::size_t>(id)];
     for (const CommEvent* e : fwd_comm[static_cast<std::size_t>(id)]) {
       if (e->reason.rfind("reshard", 0) == 0) continue;
       t = s.run_comm(t, comm_time(*e), /*blocking=*/true,
-                     n.name + ":" + e->reason);
+                     n.name + ":" + e->reason, comm_args(*e));
       out.comm_s += comm_time(*e);
       ++out.comm_messages;
     }
@@ -155,16 +216,17 @@ StepBreakdown simulate_step(const ir::TapGraph& tg,
   s.phase = "backward";
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     GraphNodeId id = *it;
-    double ready = 0.0;  // dependencies via consumers
+    Done ready;  // dependencies via consumers
     for (GraphNodeId c : tg.consumers(id))
-      ready = std::max(ready, bwd_finish[static_cast<std::size_t>(c)]);
-    ready = std::max(ready, fwd_finish[static_cast<std::size_t>(id)]);
-    double t = s.run_compute(ready, bwd_dur[static_cast<std::size_t>(id)],
-                             tg.node(id).name + ":bwd");
+      ready = later(ready, bwd_finish[static_cast<std::size_t>(c)]);
+    ready = later(ready, fwd_finish[static_cast<std::size_t>(id)]);
+    Done t = s.run_compute(ready, bwd_dur[static_cast<std::size_t>(id)],
+                           tg.node(id).name + ":bwd",
+                           compute_args(tg.node(id)));
     out.backward_compute_s += bwd_dur[static_cast<std::size_t>(id)];
     for (const CommEvent* e : bwd_blocking[static_cast<std::size_t>(id)]) {
       t = s.run_comm(t, comm_time(*e), /*blocking=*/true,
-                     tg.node(id).name + ":" + e->reason);
+                     tg.node(id).name + ":" + e->reason, comm_args(*e));
       out.comm_s += comm_time(*e);
       ++out.comm_messages;
     }
@@ -204,11 +266,11 @@ StepBreakdown simulate_step(const ir::TapGraph& tg,
   for (const auto& bucket : packed.buckets) {
     // A bucket is ready once the latest contributing cluster finished its
     // backward compute.
-    double ready = 0.0;
+    Done ready;
     for (std::size_t gi : bucket.gradient_indices)
-      ready = std::max(
+      ready = later(
           ready, bwd_finish[static_cast<std::size_t>(wgrads[gi]->node)]);
-    ready += fusion_delay;
+    ready.t += fusion_delay;
     int group = 1;
     bool cross = false;
     for (std::size_t gi : bucket.gradient_indices) {
@@ -216,34 +278,58 @@ StepBreakdown simulate_step(const ir::TapGraph& tg,
                        wgrads[gi]->group > 0 ? wgrads[gi]->group : D);
       cross |= wgrads[gi]->cross_node;
     }
+    const auto bucket_bytes = static_cast<std::int64_t>(
+        static_cast<double>(bucket.bytes) * amp_bytes);
     const double dur = cost::collective_time(
-        sharding::Collective::kAllReduce,
-        static_cast<std::int64_t>(static_cast<double>(bucket.bytes) *
-                                  amp_bytes),
-        group, cluster, cross);
+        sharding::Collective::kAllReduce, bucket_bytes, group, cluster,
+        cross);
+    Streams::Args args;
+    if (s.trace != nullptr) {
+      args["bytes"] = std::to_string(bucket_bytes);
+      args["collective"] =
+          std::string(sharding::collective_name(
+              sharding::Collective::kAllReduce));
+      args["group"] = std::to_string(group);
+      args["tensors"] = std::to_string(bucket.gradient_indices.size());
+      if (cross) args["cross_node"] = "1";
+    }
     // Overlaps backward compute on the COMM stream.
-    double done = s.run_comm(
+    Done done = s.run_comm(
         ready, dur, /*blocking=*/false,
         "grad bucket (" +
-            std::to_string(bucket.gradient_indices.size()) + " tensors)");
+            std::to_string(bucket.gradient_indices.size()) + " tensors)",
+        std::move(args));
     out.comm_s += dur;
     ++out.comm_messages;
     // Pipelined weight update per bucket (§4.7.1).
     const double upd =
         3.0 * static_cast<double>(bucket.bytes) / cluster.mem_bw;
-    s.run_compute(done, upd, "weight update");
+    Streams::Args upd_args;
+    if (s.trace != nullptr)
+      upd_args["bytes"] = std::to_string(bucket.bytes);
+    s.run_compute(done, upd, "weight update", std::move(upd_args));
     out.update_s += upd;
   }
 
   if (opts.training.zero1 && routed.dp_replicas > 1) {
     // ZeRO-1: each dp replica updates only its optimizer shard, then the
     // refreshed weights are re-gathered across the dp group.
+    const auto gather_bytes = static_cast<std::int64_t>(
+        static_cast<double>(out.memory.weight_bytes) * amp_bytes);
     const double gather = cost::collective_time(
-        sharding::Collective::kAllGather,
-        static_cast<std::int64_t>(
-            static_cast<double>(out.memory.weight_bytes) * amp_bytes),
-        routed.dp_replicas, cluster, /*cross_node=*/true);
-    s.run_comm(s.makespan, gather, /*blocking=*/true, "zero1 weight gather");
+        sharding::Collective::kAllGather, gather_bytes, routed.dp_replicas,
+        cluster, /*cross_node=*/true);
+    Streams::Args args;
+    if (s.trace != nullptr) {
+      args["bytes"] = std::to_string(gather_bytes);
+      args["collective"] =
+          std::string(sharding::collective_name(
+              sharding::Collective::kAllGather));
+      args["group"] = std::to_string(routed.dp_replicas);
+      args["cross_node"] = "1";
+    }
+    s.run_comm({s.makespan, s.makespan_ev}, gather, /*blocking=*/true,
+               "zero1 weight gather", std::move(args));
     out.comm_s += gather;
     ++out.comm_messages;
   }

@@ -15,6 +15,7 @@ std::vector<obs::TraceEvent> Trace::to_obs_events(int pid,
     o.dur_us = e.duration_s * 1e6;
     o.pid = pid;
     o.tid = e.lane;
+    o.args = e.args;
     out.push_back(std::move(o));
   }
   return out;
@@ -28,7 +29,7 @@ void Trace::append_to(obs::TraceSession& session) const {
   const double offset_us = session.now_us();
   for (obs::TraceEvent& e : to_obs_events(1, offset_us)) {
     session.add_complete(std::move(e.name), std::move(e.category), e.start_us,
-                         e.dur_us, e.pid, e.tid);
+                         e.dur_us, e.pid, e.tid, std::move(e.args));
   }
 }
 

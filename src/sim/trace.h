@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,14 +25,26 @@ struct TraceEvent {
   double start_s = 0.0;
   double duration_s = 0.0;
   int lane = 0;  ///< 0 = compute stream, 1 = comm stream
+  /// Index into Trace::events() of the event whose completion gated this
+  /// event's start (-1 = ready at time zero / no recorded predecessor).
+  /// The recorded dependency chain is what report::analyze_critical_path
+  /// walks back from the makespan.
+  std::int64_t pred = -1;
+  /// Perfetto-visible attribution (bytes, collective kind, shape, ...),
+  /// carried through to_obs_events/append_to into the Chrome JSON "args".
+  std::map<std::string, std::string> args;
 };
 
 class Trace {
  public:
-  void add(std::string name, std::string category, double start_s,
-           double duration_s, int lane) {
-    events_.push_back(
-        {std::move(name), std::move(category), start_s, duration_s, lane});
+  /// Appends an event and returns its index (the handle successors pass
+  /// as `pred`).
+  std::int64_t add(std::string name, std::string category, double start_s,
+                   double duration_s, int lane, std::int64_t pred = -1,
+                   std::map<std::string, std::string> args = {}) {
+    events_.push_back({std::move(name), std::move(category), start_s,
+                       duration_s, lane, pred, std::move(args)});
+    return static_cast<std::int64_t>(events_.size()) - 1;
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

@@ -1,0 +1,385 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tap::util {
+
+// ---------------------------------------------------------------------------
+// Construction + accessors
+// ---------------------------------------------------------------------------
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  TAP_CHECK(kind_ == Kind::kBool) << "JSON value is not a bool";
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  TAP_CHECK(kind_ == Kind::kNumber) << "JSON value is not a number";
+  return num_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& JsonValue::as_string() const {
+  TAP_CHECK(kind_ == Kind::kString) << "JSON value is not a string";
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  TAP_CHECK(kind_ == Kind::kArray) << "JSON value is not an array";
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  TAP_CHECK(kind_ == Kind::kObject) << "JSON value is not an object";
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  TAP_CHECK(kind_ == Kind::kObject) << "JSON value is not an object";
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  TAP_CHECK(v != nullptr) << "JSON object has no key '" << std::string(key)
+                          << "'";
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  TAP_CHECK(kind_ == Kind::kArray) << "JSON value is not an array";
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  TAP_CHECK(kind_ == Kind::kObject) << "JSON value is not an object";
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue document() {
+    JsonValue v = value();
+    skip_ws();
+    TAP_CHECK(pos_ == text_.size())
+        << "JSON: trailing characters at offset " << pos_;
+    return v;
+  }
+
+ private:
+  JsonValue value() {
+    skip_ws();
+    TAP_CHECK(pos_ < text_.size()) << "JSON: unexpected end of input";
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return JsonValue::string(string_body());
+      case 't':
+        literal("true");
+        return JsonValue::boolean(true);
+      case 'f':
+        literal("false");
+        return JsonValue::boolean(false);
+      case 'n':
+        literal("null");
+        return JsonValue();
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    skip_ws();
+    if (try_consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string_body();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), value());
+      skip_ws();
+      if (try_consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    skip_ws();
+    if (try_consume(']')) return v;
+    while (true) {
+      v.push_back(value());
+      skip_ws();
+      if (try_consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    auto digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      digits();
+    }
+    TAP_CHECK(pos_ > start) << "JSON: expected a value at offset " << start;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    TAP_CHECK(end == token.c_str() + token.size())
+        << "JSON: malformed number '" << token << "'";
+    return JsonValue::number(v);
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      TAP_CHECK(pos_ < text_.size()) << "JSON: unterminated string";
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      TAP_CHECK(pos_ < text_.size()) << "JSON: unterminated escape";
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          const unsigned cp = hex4();
+          // Basic-plane code point to UTF-8 (surrogate pairs are not
+          // produced by any writer in this repo).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          TAP_CHECK(false) << "JSON: unknown escape '\\" << e << "'";
+      }
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      TAP_CHECK(pos_ < text_.size()) << "JSON: truncated \\u escape";
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        TAP_CHECK(false) << "JSON: bad hex digit '" << c << "'";
+      }
+    }
+    return v;
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      TAP_CHECK(pos_ < text_.size() && text_[pos_] == *p)
+          << "JSON: expected literal '" << word << "'";
+      ++pos_;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    TAP_CHECK(pos_ < text_.size() && text_[pos_] == c)
+        << "JSON: expected '" << c << "' at offset " << pos_;
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string number_repr(double v) {
+  // Exact integers (every count/bytes field) print without a fraction.
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).document();
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      os << number_repr(num_);
+      break;
+    case Kind::kString:
+      os << "\"" << escape(str_) << "\"";
+      break;
+    case Kind::kArray: {
+      os << "[";
+      bool first = true;
+      for (const JsonValue& v : items_) {
+        if (!first) os << ",";
+        first = false;
+        os << v.dump();
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kObject: {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << escape(k) << "\":" << v.dump();
+      }
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tap::util

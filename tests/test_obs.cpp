@@ -133,6 +133,55 @@ TEST(ObsMetrics, DumpJsonShapeAndReset) {
   EXPECT_EQ(reg.histogram("h.ms")->count(), 0u);
 }
 
+TEST(ObsMetrics, PrometheusDump) {
+  MetricsRegistry reg;
+  reg.counter("cache.mem.hits")->add(3);
+  reg.gauge("pool.queue-depth")->set(2.5);
+  Histogram* h = reg.histogram("req.ms", std::vector<double>{1.0, 2.0});
+  h->observe(0.5);
+  h->observe(1.5);
+  h->observe(9.0);  // overflow
+  const std::string text = reg.dump_prometheus();
+
+  EXPECT_NE(text.find("# TYPE tap_cache_mem_hits counter\n"
+                      "tap_cache_mem_hits 3\n"),
+            std::string::npos)
+      << text;
+  // Non-alphanumeric characters ('.', '-') sanitize to '_'.
+  EXPECT_NE(text.find("# TYPE tap_pool_queue_depth gauge\n"
+                      "tap_pool_queue_depth 2.5\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("# TYPE tap_req_ms histogram\n"
+                      "tap_req_ms_bucket{le=\"1\"} 1\n"
+                      "tap_req_ms_bucket{le=\"2\"} 2\n"
+                      "tap_req_ms_bucket{le=\"+Inf\"} 3\n"
+                      "tap_req_ms_sum 11\n"
+                      "tap_req_ms_count 3\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsMetrics, HistogramQuantile) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("q.ms", std::vector<double>{1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(histogram_quantile(*h, 0.5), 0.0) << "empty -> 0";
+  h->observe(0.5);
+  h->observe(1.5);
+  h->observe(3.0);
+  h->observe(3.5);
+  ASSERT_EQ(h->count(), 4u);
+  // target = 2 observations: the 2nd lands at the top of bucket (1, 2].
+  EXPECT_DOUBLE_EQ(histogram_quantile(*h, 0.50), 2.0);
+  // target = 3: halfway through the 2-observation bucket (2, 4].
+  EXPECT_DOUBLE_EQ(histogram_quantile(*h, 0.75), 3.0);
+  // q = 1 clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(*h, 1.0), 4.0);
+  h->observe(100.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(histogram_quantile(*h, 1.0), 4.0)
+      << "+inf bucket clamps to the largest finite bound";
+}
+
 TEST(ObsMetrics, PlannerRunPopulatesGlobalRegistry) {
   Graph g = models::build_transformer(models::t5_with_layers(1));
   ir::TapGraph tg = ir::lower(g);

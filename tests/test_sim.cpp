@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "ir/lowering.h"
 #include "models/models.h"
 #include "sim/loss_curve.h"
@@ -151,6 +155,54 @@ TEST(Simulator, DeeperModelTakesLonger) {
   auto b2 = simulate_step(f2.tg, f2.dp(8), 8, c);
   auto b8 = simulate_step(f8.tg, f8.dp(8), 8, c);
   EXPECT_GT(b8.iteration_s, b2.iteration_s);
+}
+
+TEST(Simulator, StepBreakdownInvariantsAcrossZoo) {
+  std::vector<Graph> zoo;
+  zoo.push_back(models::build_transformer(models::t5_with_layers(2)));
+  {
+    models::TransformerConfig bert = models::bert_large();
+    bert.num_layers = 2;
+    zoo.push_back(models::build_transformer(bert));
+  }
+  zoo.push_back(models::build_resnet(models::resnet50(1024)));
+  {
+    models::MoeConfig moe = models::widenet();
+    moe.num_layers = 2;
+    zoo.push_back(models::build_moe_transformer(moe));
+  }
+
+  for (Graph& g : zoo) {
+    SCOPED_TRACE(g.name());
+    Fixture f(std::move(g));
+    for (int shards : {8, 16}) {
+      SCOPED_TRACE(shards);
+      cost::ClusterSpec cluster = shards == 8
+                                      ? cost::ClusterSpec::v100_node()
+                                      : cost::ClusterSpec::v100_cluster(2);
+      auto routed = f.dp(shards);
+      ASSERT_TRUE(routed.valid);
+      Trace trace;
+      SimOptions opts;
+      opts.trace = &trace;
+      StepBreakdown b = simulate_step(f.tg, routed, shards, cluster, opts);
+
+      EXPECT_GE(b.exposed_comm_s, 0.0);
+      // The makespan covers each stream's busy time.
+      const double slack = b.iteration_s * 1e-9 + 1e-12;
+      EXPECT_GE(b.iteration_s + slack, trace.lane_busy_s(0));
+      EXPECT_GE(b.iteration_s + slack, trace.lane_busy_s(1));
+      // The breakdown's compute/comm totals are exactly the per-lane busy
+      // times of the recorded schedule.
+      EXPECT_NEAR(trace.lane_busy_s(0), b.compute_s(),
+                  b.compute_s() * 1e-9 + 1e-12);
+      EXPECT_NEAR(trace.lane_busy_s(1), b.comm_s, b.comm_s * 1e-9 + 1e-12);
+      // exposed = makespan − compute busy, never negative.
+      EXPECT_NEAR(b.exposed_comm_s,
+                  std::max(0.0, b.iteration_s - b.compute_s()),
+                  b.iteration_s * 1e-9 + 1e-12);
+    }
+  }
 }
 
 TEST(LossCurve, DecreasesAndBiggerModelWins) {

@@ -67,6 +67,67 @@ TEST(Trace, SimulatorFillsTraceConsistently) {
   EXPECT_TRUE(grad);
 }
 
+TEST(Trace, ArgsRoundTripThroughObsExport) {
+  Trace t;
+  const std::int64_t first =
+      t.add("allreduce", "comm", 0.0, 0.001, 1, -1,
+            {{"bytes", "4096"}, {"collective", "AllReduce"}});
+  t.add("matmul \"q\"", "forward", 0.001, 0.002, 0, first,
+        {{"shape", "[16, 512]"}});
+
+  // to_obs_events carries the args map verbatim.
+  const auto obs_events = t.to_obs_events();
+  ASSERT_EQ(obs_events.size(), 2u);
+  ASSERT_EQ(obs_events[0].args.size(), 2u);
+  EXPECT_EQ(obs_events[0].args.at("bytes"), "4096");
+  EXPECT_EQ(obs_events[0].args.at("collective"), "AllReduce");
+  EXPECT_EQ(obs_events[1].args.at("shape"), "[16, 512]");
+
+  // Chrome JSON exposes them as the per-event "args" object.
+  const std::string json = t.to_chrome_json();
+  EXPECT_NE(json.find("\"args\":{\"bytes\":\"4096\","
+                      "\"collective\":\"AllReduce\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\":{\"shape\":\"[16, 512]\"}"),
+            std::string::npos);
+
+  // append_to re-bases onto an obs session without dropping the args.
+  obs::TraceSession session;
+  t.append_to(session);
+  const auto imported = session.events();
+  ASSERT_EQ(imported.size(), 2u);
+  EXPECT_EQ(imported[0].args.at("bytes"), "4096");
+  EXPECT_NE(session.to_chrome_json().find("\"args\":{\"shape\""),
+            std::string::npos);
+}
+
+TEST(Trace, SimulatorRecordsArgsAndPredecessors) {
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+  auto routed = sharding::route_plan(tg, baselines::megatron_plan(tg, 8));
+  ASSERT_TRUE(routed.valid);
+  Trace trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  simulate_step(tg, routed, 8, cost::ClusterSpec::v100_node(), opts);
+  ASSERT_FALSE(trace.empty());
+
+  bool comm_args = false, compute_args = false;
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // Predecessors always point at earlier events (or -1).
+    EXPECT_LT(e.pred, static_cast<std::int64_t>(i));
+    EXPECT_GE(e.pred, -1);
+    if (e.lane == 1 && e.args.count("bytes") && e.args.count("collective"))
+      comm_args = true;
+    if (e.lane == 0 && e.args.count("shape")) compute_args = true;
+  }
+  EXPECT_TRUE(comm_args) << "collectives carry bytes + collective args";
+  EXPECT_TRUE(compute_args) << "compute tasks carry their output shape";
+}
+
 TEST(Trace, EventsOnSameLaneDoNotOverlap) {
   Graph g = models::build_transformer(models::t5_with_layers(1));
   ir::TapGraph tg = ir::lower(g);
