@@ -34,12 +34,30 @@
 //                                             (implies --explain)
 //           [--topk N]                        contributors before the
 //                                             "(other)" rollup (default 10)
+//           [--deadline-ms N]                 latency budget: return the
+//                                             best plan found within N ms
+//                                             (anytime / fallback, see the
+//                                             provenance line)
+//           [--max-checkpoints N]             deterministic anytime cutoff:
+//                                             stop the search after N
+//                                             checkpoints (reproducible at
+//                                             any --threads)
+//           [--fault SPEC]                    install a fault injector,
+//                                             e.g. cache.disk.read=throw:0.5
+//                                             (seed via TAP_FAULT_SEED)
 //
 // With no arguments: plans T5 with 8+8 layers for 2x8 V100s with an
 // automatic mesh sweep and prints the summary.
+//
+// Exit codes: 0 success; 2 usage error (unknown flag/model, malformed
+// value, invalid --fault spec); 1 runtime failure (unreadable input,
+// unwritable output, plan does not route).
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "core/pipeline.h"
@@ -54,6 +72,7 @@
 #include "report/report.h"
 #include "service/planner_service.h"
 #include "sim/simulator.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace {
@@ -71,39 +90,74 @@ struct Args {
   bool amp = false, recompute = false, zero1 = false, xla = false, viz = false;
   bool no_cache = false, explain = false;
   int topk = 10;
+  std::int64_t deadline_ms = 0;
+  std::int64_t max_checkpoints = -1;
+  std::string fault_spec;
   std::string save_plan, load_plan, trace_path, cache_dir;
   std::string profile_path, stats_path, report_path, diff_baseline;
 };
 
+/// Strict base-10 parse: the whole token must be a number (no atoi
+/// half-parses — "8x" or "fast" is a usage error, not an 8 or a 0).
+bool parse_i64(const char* s, std::int64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool known_model(const std::string& m) {
+  return m == "t5" || m == "bert" || m == "gpt3" || m == "resnet50" ||
+         m == "resnet152" || m == "moe";
+}
+
 bool parse(int argc, char** argv, Args* a) {
+  bool missing = false;
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       std::cerr << "missing value for " << argv[i] << "\n";
+      missing = true;
       return nullptr;
     }
     return argv[++i];
+  };
+  bool bad_number = false;
+  auto i64 = [&](const char* flag, const char* v, std::int64_t* out) {
+    if (v == nullptr) return;
+    if (!parse_i64(v, out)) {
+      std::cerr << "bad value for " << flag << ": '" << v << "'\n";
+      bad_number = true;
+    }
+  };
+  auto i32 = [&](const char* flag, const char* v, int* out) {
+    std::int64_t wide = *out;
+    i64(flag, v, &wide);
+    *out = static_cast<int>(wide);
   };
   for (int i = 1; i < argc; ++i) {
     const char* f = argv[i];
     const char* v = nullptr;
     if (!std::strcmp(f, "--model") && (v = need_value(i))) {
       a->model = v;
-    } else if (!std::strcmp(f, "--layers") && (v = need_value(i))) {
-      a->layers = std::atoi(v);
-    } else if (!std::strcmp(f, "--classes") && (v = need_value(i))) {
-      a->classes = std::atoll(v);
-    } else if (!std::strcmp(f, "--batch") && (v = need_value(i))) {
-      a->batch = std::atoll(v);
-    } else if (!std::strcmp(f, "--nodes") && (v = need_value(i))) {
-      a->nodes = std::atoi(v);
-    } else if (!std::strcmp(f, "--gpus") && (v = need_value(i))) {
-      a->gpus = std::atoi(v);
+    } else if (!std::strcmp(f, "--layers")) {
+      i32(f, need_value(i), &a->layers);
+    } else if (!std::strcmp(f, "--classes")) {
+      i64(f, need_value(i), &a->classes);
+    } else if (!std::strcmp(f, "--batch")) {
+      i64(f, need_value(i), &a->batch);
+    } else if (!std::strcmp(f, "--nodes")) {
+      i32(f, need_value(i), &a->nodes);
+    } else if (!std::strcmp(f, "--gpus")) {
+      i32(f, need_value(i), &a->gpus);
     } else if (!std::strcmp(f, "--mesh") && (v = need_value(i))) {
       a->mesh = v;
-    } else if (!std::strcmp(f, "--threads") && (v = need_value(i))) {
-      a->threads = std::atoi(v);
-    } else if (!std::strcmp(f, "--pipeline") && (v = need_value(i))) {
-      a->pipeline = std::atoi(v);
+    } else if (!std::strcmp(f, "--threads")) {
+      i32(f, need_value(i), &a->threads);
+    } else if (!std::strcmp(f, "--pipeline")) {
+      i32(f, need_value(i), &a->pipeline);
     } else if (!std::strcmp(f, "--amp")) {
       a->amp = true;
     } else if (!std::strcmp(f, "--recompute")) {
@@ -136,16 +190,60 @@ bool parse(int argc, char** argv, Args* a) {
     } else if (!std::strcmp(f, "--report") && (v = need_value(i))) {
       a->report_path = v;
       a->explain = true;
-    } else if (!std::strcmp(f, "--topk") && (v = need_value(i))) {
-      a->topk = std::atoi(v);
-    } else {
+    } else if (!std::strcmp(f, "--topk")) {
+      i32(f, need_value(i), &a->topk);
+    } else if (!std::strcmp(f, "--deadline-ms")) {
+      i64(f, need_value(i), &a->deadline_ms);
+    } else if (!std::strcmp(f, "--max-checkpoints")) {
+      i64(f, need_value(i), &a->max_checkpoints);
+    } else if (!std::strcmp(f, "--fault") && (v = need_value(i))) {
+      a->fault_spec = v;
+    } else if (!missing) {
       std::cerr << "unknown flag: " << f << "\n";
       return false;
     }
-    if (v == nullptr && (!std::strcmp(f, "--model") ||
-                         !std::strcmp(f, "--layers"))) {
+    if (missing) return false;
+  }
+  if (bad_number) return false;
+  if (!known_model(a->model)) {
+    std::cerr << "unknown model '" << a->model
+              << "' (want t5 | bert | gpt3 | resnet50 | resnet152 | moe)\n";
+    return false;
+  }
+  if (a->mesh != "auto") {
+    int dp = 1, tp = 1;
+    char trailing = '\0';
+    if (std::sscanf(a->mesh.c_str(), "%dx%d%c", &dp, &tp, &trailing) != 2 ||
+        dp < 1 || tp < 1) {
+      std::cerr << "bad --mesh '" << a->mesh << "' (want DPxTP or auto)\n";
       return false;
     }
+  }
+  if (!a->diff_baseline.empty() && a->diff_baseline != "dp" &&
+      a->diff_baseline != "megatron" && a->diff_baseline != "mha" &&
+      a->diff_baseline != "ffn") {
+    std::cerr << "unknown --diff-baseline '" << a->diff_baseline
+              << "' (want dp | megatron | mha | ffn)\n";
+    return false;
+  }
+  return true;
+}
+
+/// Writes `content` to `path`, reporting failures (unwritable directory,
+/// disk full at flush) on stderr. tap_cli exits 1 when this fails — a
+/// silently empty --report/--save-plan file is worse than an error.
+bool write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot write " << what << " to " << path << "\n";
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    std::cerr << "failed while writing " << what << " to " << path << "\n";
+    return false;
   }
   return true;
 }
@@ -174,14 +272,11 @@ tap::Graph build_model(const Args& a) {
     cfg.batch = a.batch;
     return build_resnet(cfg);
   }
-  if (a.model == "moe") {
-    MoeConfig cfg = widenet();
-    cfg.num_layers = a.layers;
-    cfg.batch = a.batch;
-    return build_moe_transformer(cfg);
-  }
-  std::cerr << "unknown model '" << a.model << "', using t5\n";
-  return build_transformer(t5_with_layers(a.layers));
+  // parse() validated the model name already.
+  MoeConfig cfg = widenet();
+  cfg.num_layers = a.layers;
+  cfg.batch = a.batch;
+  return build_moe_transformer(cfg);
 }
 
 }  // namespace
@@ -190,6 +285,25 @@ int main(int argc, char** argv) {
   using namespace tap;
   Args args;
   if (!parse(argc, argv, &args)) return 2;
+
+  // --fault: install the injector before any planning so every site in
+  // the run is covered. Seed comes from TAP_FAULT_SEED, matching the
+  // env-variable install path.
+  std::unique_ptr<util::ScopedFaultInjector> fault;
+  if (!args.fault_spec.empty()) {
+    std::uint64_t seed = 0;
+    if (const char* s = std::getenv("TAP_FAULT_SEED")) {
+      std::int64_t parsed = 0;
+      if (parse_i64(s, &parsed)) seed = static_cast<std::uint64_t>(parsed);
+    }
+    try {
+      fault = std::make_unique<util::ScopedFaultInjector>(args.fault_spec,
+                                                          seed);
+    } catch (const std::exception& e) {
+      std::cerr << "invalid --fault spec: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   // --profile: activate the observability session before any planning so
   // planner pass spans, cache/service events and the simulated step all
@@ -209,6 +323,8 @@ int main(int argc, char** argv) {
   opts.cluster = cost::ClusterSpec::v100_cluster(args.nodes);
   opts.cluster.gpus_per_node = args.gpus;
   opts.threads = args.threads;
+  opts.deadline_ms = args.deadline_ms;
+  opts.max_checkpoints = args.max_checkpoints;
 
   core::TapResult result;
   if (!args.load_plan.empty()) {
@@ -219,7 +335,13 @@ int main(int argc, char** argv) {
     }
     std::stringstream buf;
     buf << in.rdbuf();
-    result.best_plan = core::plan_from_json(tg, buf.str());
+    try {
+      result.best_plan = core::plan_from_json(tg, buf.str());
+    } catch (const std::exception& e) {
+      std::cerr << "cannot parse plan " << args.load_plan << ": " << e.what()
+                << "\n";
+      return 1;
+    }
     result.routed = sharding::route_plan(tg, result.best_plan);
     if (!result.routed.valid) {
       std::cerr << "loaded plan does not route: " << result.routed.error
@@ -250,13 +372,15 @@ int main(int argc, char** argv) {
       opts.dp_replicas = dp;
       opts.num_shards = tp;
     }
-    if ((!args.cache_dir.empty() || !args.profile_path.empty()) &&
+    if ((!args.cache_dir.empty() || !args.profile_path.empty() ||
+         args.deadline_ms > 0) &&
         !args.no_cache) {
       // Route through the PlannerService so a repeat invocation for the
       // same architecture + cluster is served from --cache-dir (the result
       // is bit-identical to a direct search by construction). --profile
       // also takes this path so the cache/service events show up on the
-      // exported timeline.
+      // exported timeline, and --deadline-ms so an expired budget degrades
+      // to the Megatron fallback instead of an error.
       service::ServiceOptions sopts;
       sopts.cache.disk_dir = args.cache_dir;
       service::PlannerService svc(sopts);
@@ -283,6 +407,18 @@ int main(int argc, char** argv) {
               result.best_plan.mesh().to_string().c_str(),
               static_cast<long long>(result.candidate_plans),
               result.search_seconds * 1e3, result.cost.total() * 1e3);
+  if (!result.provenance.complete()) {
+    const core::PlanProvenance& p = result.provenance;
+    std::printf("provenance: %s (%lld/%lld families, %lld/%lld meshes%s%s%s)\n",
+                core::plan_source_name(p.source),
+                static_cast<long long>(p.families_searched),
+                static_cast<long long>(p.families_total),
+                static_cast<long long>(p.meshes_searched),
+                static_cast<long long>(p.meshes_total),
+                p.deadline_hit ? ", deadline hit" : "",
+                p.fallback_reason.empty() ? "" : ", reason: ",
+                p.fallback_reason.c_str());
+  }
 
   if (args.viz) {
     std::cout << core::visualize_plan(tg, result.best_plan, result.pruning);
@@ -320,37 +456,35 @@ int main(int argc, char** argv) {
       if (args.diff_baseline == "megatron") name = "Megatron";
       if (args.diff_baseline == "mha") name = "MHA";
       if (args.diff_baseline == "ffn") name = "FFN";
-      if (name.empty()) {
-        std::cerr << "unknown --diff-baseline '" << args.diff_baseline
-                  << "' (want dp | megatron | mha | ffn), skipping diff\n";
+      // parse() rejected anything else.
+      auto theirs =
+          baselines::named_expert_plan(name, tg, opts.cluster.world());
+      if (!sharding::route_plan(tg, theirs).valid) {
+        std::cerr << "baseline " << name
+                  << " does not route on this model, skipping diff\n";
       } else {
-        auto theirs =
-            baselines::named_expert_plan(name, tg, opts.cluster.world());
-        if (!sharding::route_plan(tg, theirs).valid) {
-          std::cerr << "baseline " << name
-                    << " does not route on this model, skipping diff\n";
-        } else {
-          report::attach_baseline_diff(&report, tg, result, theirs, name,
-                                       opts);
-        }
+        report::attach_baseline_diff(&report, tg, result, theirs, name,
+                                     opts);
       }
     }
     std::cout << report::to_text(report);
     if (!args.report_path.empty()) {
-      std::ofstream out(args.report_path);
-      out << report::to_json(report) << "\n";
+      if (!write_file(args.report_path, report::to_json(report) + "\n",
+                      "report"))
+        return 1;
       std::printf("report written to %s\n", args.report_path.c_str());
     }
   }
 
   if (!args.save_plan.empty()) {
-    std::ofstream out(args.save_plan);
-    out << core::plan_to_json(tg, result.best_plan);
+    if (!write_file(args.save_plan, core::plan_to_json(tg, result.best_plan),
+                    "plan"))
+      return 1;
     std::printf("plan saved to %s\n", args.save_plan.c_str());
   }
   if (!args.trace_path.empty()) {
-    std::ofstream out(args.trace_path);
-    out << trace.to_chrome_json();
+    if (!write_file(args.trace_path, trace.to_chrome_json(), "trace"))
+      return 1;
     std::printf("trace written to %s (open in chrome://tracing)\n",
                 args.trace_path.c_str());
   }
@@ -359,8 +493,8 @@ int main(int argc, char** argv) {
     // export planner + service + simulator as one Chrome trace.
     trace.append_to(session);
     session.stop();
-    std::ofstream out(args.profile_path);
-    out << session.to_chrome_json();
+    if (!write_file(args.profile_path, session.to_chrome_json(), "profile"))
+      return 1;
     std::printf("profile written to %s (%zu events; open in "
                 "chrome://tracing or https://ui.perfetto.dev)\n",
                 args.profile_path.c_str(), session.events().size());
@@ -369,8 +503,8 @@ int main(int argc, char** argv) {
     if (args.stats_path == "-") {
       std::cout << obs::dump_json() << "\n";
     } else {
-      std::ofstream out(args.stats_path);
-      out << obs::dump_json() << "\n";
+      if (!write_file(args.stats_path, obs::dump_json() + "\n", "stats"))
+        return 1;
       std::printf("stats written to %s\n", args.stats_path.c_str());
     }
   }

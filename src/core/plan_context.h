@@ -18,6 +18,7 @@
 #include "sharding/pattern.h"
 #include "sharding/plan.h"
 #include "sharding/routing.h"
+#include "util/cancellation.h"
 #include "util/check.h"
 
 namespace tap::core {
@@ -48,6 +49,19 @@ struct TapOptions {
   /// bit-identical at every setting: per-task statistics merge in family /
   /// mesh index order, never completion order.
   int threads = 0;
+  /// Anytime-search budget in wall-clock milliseconds; <= 0 = unlimited.
+  /// When the deadline passes mid-search, remaining families keep their
+  /// data-parallel default and the result is marked PlanSource::kAnytime.
+  /// Which families got searched depends on timing — use max_checkpoints
+  /// for a reproducible cutoff. Excluded from the plan-cache fingerprint
+  /// (like `threads`): anytime results are never cached.
+  std::int64_t deadline_ms = 0;
+  /// Deterministic anytime cutoff: checkpoints with ordinal >=
+  /// max_checkpoints are skipped (< 0 = unlimited). Ordinals are stable
+  /// work indices (family index; mesh index in the sweep), so the same
+  /// limit produces byte-identical plans at any thread count. Excluded
+  /// from the plan-cache fingerprint like deadline_ms.
+  std::int64_t max_checkpoints = -1;
 };
 
 /// Search work counters (Table 2, Figs. 9/10). Every parallel task owns a
@@ -82,6 +96,14 @@ struct PlanContext {
   /// the result across every (dp, tp) factorization; PrunePass copies this
   /// instead of re-running when set.
   const pruning::PruneResult* shared_pruning = nullptr;
+  /// Cooperative cancellation for the anytime search. Inert by default;
+  /// FamilySearch polls it once per weighted family (ordinal =
+  /// checkpoint_base + family index) and GlobalRefine once per revert
+  /// probe. A tripped checkpoint skips the unit, it never aborts the run.
+  util::CancellationToken cancel;
+  /// Offset added to family ordinals so the mesh sweep can give every
+  /// (dp, tp) factorization a disjoint, stable ordinal range.
+  std::uint64_t checkpoint_base = 0;
 
   // ---- pass outputs -----------------------------------------------------
   std::optional<sharding::PatternTable> table;  ///< BuildPatternTable
@@ -91,6 +113,11 @@ struct PlanContext {
   cost::PlanCost cost;                          ///< FinalizeCost
   SearchStats stats;
   std::vector<PassTiming> timings;
+
+  // ---- anytime bookkeeping (feeds TapResult::provenance) ---------------
+  std::int64_t families_searched = 0;  ///< weighted families searched
+  std::int64_t families_total = 0;     ///< weighted families in the graph
+  bool cancelled = false;  ///< any checkpoint tripped during this run
 
   const ir::TapGraph& graph() const {
     TAP_CHECK(tg != nullptr) << "PlanContext has no graph";

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -49,6 +50,14 @@ std::string pass_metric_name(const std::string& pass) {
 }
 
 }  // namespace
+
+std::size_t weighted_family_count(const ir::TapGraph& tg,
+                                  const pruning::PruneResult& pruning) {
+  std::size_t n = 0;
+  for (const SubgraphFamily& f : pruning.families)
+    if (family_is_weighted(tg, f)) ++n;
+  return n;
+}
 
 PlannerPipeline& PlannerPipeline::add(std::unique_ptr<PlannerPass> pass) {
   TAP_CHECK(pass != nullptr);
@@ -136,6 +145,7 @@ void FamilySearchPass::run(PlanContext& ctx) const {
     if (family_is_weighted(tg, f)) families.push_back(&f);
     // Families with no weighted member have nothing to decide.
   }
+  ctx.families_total += static_cast<std::int64_t>(families.size());
   if (families.empty()) return;
 
   // Warm the TapGraph's lazily-built topo/consumer caches before fanning
@@ -145,24 +155,38 @@ void FamilySearchPass::run(PlanContext& ctx) const {
 
   FamilySearchContext fctx(tg, ctx.opts, *ctx.table);
   std::vector<FamilySearchOutcome> outcomes(families.size());
+  // searched[i] records whether family i's checkpoint let it run; a
+  // skipped family keeps its data-parallel default from default_plan —
+  // the anytime degradation. The checkpoint ordinal is the stable family
+  // index (plus the sweep's per-mesh base), so under a deterministic
+  // checkpoint limit the searched set is identical at any thread count.
+  std::vector<char> searched(families.size(), 0);
   util::ThreadPool pool(families.size() > 1 ? ctx.opts.threads : 1);
   pool.parallel_for(families.size(), [&](std::size_t i) {
+    if (ctx.cancel.checkpoint(ctx.checkpoint_base + i)) return;
+    TAP_FAULT_POINT("planner.family");
     TAP_SPAN(families[i]->representative, "planner.family");
     outcomes[i] = policy_->search(fctx, *families[i], ctx.plan);
+    searched[i] = 1;
   });
 
   // Deterministic join: merge stats and replay winners in family order.
   SearchStats pass_stats;
+  std::size_t num_searched = 0;
   for (std::size_t i = 0; i < families.size(); ++i) {
+    if (!searched[i]) continue;
+    ++num_searched;
     pass_stats.merge(outcomes[i].stats);
     if (outcomes[i].found) {
       sharding::apply_family_choice(*families[i], outcomes[i].choice,
                                     &ctx.plan);
     }
   }
+  ctx.families_searched += static_cast<std::int64_t>(num_searched);
+  if (num_searched < families.size()) ctx.cancelled = true;
   ctx.stats.merge(pass_stats);
   obs::MetricsRegistry& reg = obs::registry();
-  reg.counter("planner.family.searched")->add(families.size());
+  reg.counter("planner.family.searched")->add(num_searched);
   reg.counter("planner.family.candidates")
       ->add(static_cast<std::uint64_t>(pass_stats.candidate_plans));
   reg.counter("planner.family.valid_plans")
@@ -184,6 +208,15 @@ void GlobalRefinePass::run(PlanContext& ctx) const {
   ++ctx.stats.cost_queries;
   for (const SubgraphFamily& family : ctx.pruning.families) {
     if (!family_is_weighted(tg, family)) continue;
+    // Wall-clock cancellation only: the revert probes refine an already
+    // valid plan, so an expired deadline just stops refining. The
+    // deterministic checkpoint limit deliberately does NOT apply here —
+    // checkpoint ordinals cover the family search, and cancelled() never
+    // trips under a pure checkpoint limit.
+    if (ctx.cancel.cancelled()) {
+      ctx.cancelled = true;
+      break;
+    }
     ShardingPlan reverted = ctx.plan;
     sharding::apply_family_choice(
         family, std::vector<int>(family.member_nodes.size(), 0), &reverted);

@@ -25,6 +25,13 @@
 
 namespace tap::core {
 
+/// Number of weighted families in `pruning` — the unit count of the
+/// FamilySearch pass, and therefore the size of one mesh's checkpoint
+/// ordinal range. The mesh sweep uses it to assign disjoint, stable
+/// ordinal ranges per (dp, tp) factorization (see auto_parallel_best_mesh).
+std::size_t weighted_family_count(const ir::TapGraph& tg,
+                                  const pruning::PruneResult& pruning);
+
 class PlannerPass {
  public:
   virtual ~PlannerPass() = default;

@@ -20,18 +20,50 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/family_search.h"
 #include "core/plan_context.h"
 #include "ir/lowering.h"
+#include "util/cancellation.h"
 
 namespace tap::core {
+
+/// How a plan came to be — the serving-side trust label (ISSUE 5).
+enum class PlanSource : std::uint8_t {
+  kComplete = 0,  ///< full search ran to completion
+  kAnytime = 1,   ///< search was cancelled; best-so-far plan
+  kFallback = 2,  ///< search produced nothing; expert-baseline plan
+};
+
+/// Stable lowercase name ("complete" / "anytime" / "fallback") for
+/// reports, metrics and the CLI.
+const char* plan_source_name(PlanSource source);
+
+/// Degradation record attached to every TapResult and surfaced through
+/// PlanReport JSON and tap_cli. Complete results have searched == total
+/// and no fallback_reason; only complete results are admitted to the
+/// PlanCache.
+struct PlanProvenance {
+  PlanSource source = PlanSource::kComplete;
+  std::int64_t families_searched = 0;
+  std::int64_t families_total = 0;
+  std::int64_t meshes_searched = 0;  ///< 1/1 for fixed-mesh auto_parallel
+  std::int64_t meshes_total = 0;
+  /// True when a wall-clock deadline (not a checkpoint limit) tripped.
+  bool deadline_hit = false;
+  /// Human-readable cause for kFallback results ("deadline", ...).
+  std::string fallback_reason;
+
+  bool complete() const { return source == PlanSource::kComplete; }
+};
 
 struct TapResult {
   sharding::ShardingPlan best_plan;
   sharding::RoutedPlan routed;  ///< full-graph routing of the best plan
   cost::PlanCost cost;          ///< full-graph communication cost
   pruning::PruneResult pruning;
+  PlanProvenance provenance;
 
   // Search statistics (Table 2, Figs. 9/10).
   std::int64_t candidate_plans = 0;
@@ -44,13 +76,25 @@ struct TapResult {
   std::vector<PassTiming> pass_timings;
 };
 
+/// Builds the cancellation token `opts` implies: a deadline token when
+/// deadline_ms > 0, a deterministic checkpoint limit when
+/// max_checkpoints >= 0, both when both are set, and an inert token
+/// otherwise. The planner entry points call this when handed an inert
+/// token; the PlannerService calls it at submit() time so queue wait
+/// counts against the deadline.
+util::CancellationToken cancellation_for(const TapOptions& opts);
+
 /// Derives the best tensor/data parallel plan for `tg` (Algorithm 2).
 /// `policy` selects the family-search strategy for the standard pipeline;
 /// nullptr = the default AutoPolicy. The PlannerService passes its
 /// family-memoizing policy here (src/service/planner_service.h).
+/// `cancel` makes the search *anytime*: families whose checkpoint trips
+/// keep their data-parallel default and the result is marked kAnytime.
+/// An inert token (the default) is replaced by cancellation_for(opts).
 TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts,
                         std::shared_ptr<const FamilySearchPolicy> policy =
-                            nullptr);
+                            nullptr,
+                        util::CancellationToken cancel = {});
 
 /// Runs auto_parallel over every (dp, tp) factorization of
 /// `opts.cluster.world()` and returns the cheapest — the mesh sweep behind
@@ -60,9 +104,16 @@ TapResult auto_parallel(const ir::TapGraph& tg, const TapOptions& opts,
 /// searched concurrently on `opts.threads` workers; ties between equal-cost
 /// meshes resolve to the smaller tp, never to completion order. `policy`
 /// as in auto_parallel (it must be thread-safe: the sweep shares it).
+/// `cancel` as in auto_parallel. Checkpoint ordinals are striped per
+/// factorization (mesh i owns ordinals [i*(W+1), (i+1)*(W+1)) where W is
+/// the weighted-family count), so a deterministic checkpoint limit skips
+/// the same meshes/families at any thread count. If every factorization
+/// was skipped, throws util::CancelledError instead of CheckError so the
+/// service can distinguish "cancelled before any work" from a planner bug.
 TapResult auto_parallel_best_mesh(const ir::TapGraph& tg,
                                   const TapOptions& opts,
                                   std::shared_ptr<const FamilySearchPolicy>
-                                      policy = nullptr);
+                                      policy = nullptr,
+                                  util::CancellationToken cancel = {});
 
 }  // namespace tap::core

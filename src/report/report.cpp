@@ -17,7 +17,8 @@ namespace tap::report {
 
 namespace {
 
-constexpr int kReportVersion = 1;
+// v2: added the "provenance" object (plan source, search coverage).
+constexpr int kReportVersion = 2;
 
 std::string ms(double seconds) { return util::fmt("%.3f", seconds * 1e3); }
 
@@ -300,6 +301,7 @@ PlanReport build_report(const ir::TapGraph& tg,
                 : (tg.source() != nullptr ? tg.source()->name() : "model");
   r.dp_replicas = result.best_plan.dp_replicas;
   r.num_shards = result.best_plan.num_shards;
+  r.provenance = result.provenance;
 
   cost::CommLedger ledger;
   r.cost = ledgered_cost(tg, result.routed, r.num_shards, opts, &ledger);
@@ -498,6 +500,14 @@ util::JsonValue diff_to_json(const PlanDiff& d) {
   return o;
 }
 
+core::PlanSource plan_source_from_name(const std::string& name) {
+  if (name == "complete") return core::PlanSource::kComplete;
+  if (name == "anytime") return core::PlanSource::kAnytime;
+  if (name == "fallback") return core::PlanSource::kFallback;
+  TAP_CHECK(false) << "unknown plan source '" << name << "'";
+  return core::PlanSource::kComplete;
+}
+
 }  // namespace
 
 std::string to_json(const PlanReport& r) {
@@ -508,6 +518,16 @@ std::string to_json(const PlanReport& r) {
   mesh.push_back(num(static_cast<std::int64_t>(r.dp_replicas)));
   mesh.push_back(num(static_cast<std::int64_t>(r.num_shards)));
   o.set("mesh", std::move(mesh));
+  util::JsonValue prov = util::JsonValue::object();
+  prov.set("source", str(core::plan_source_name(r.provenance.source)));
+  prov.set("families_searched", num(r.provenance.families_searched));
+  prov.set("families_total", num(r.provenance.families_total));
+  prov.set("meshes_searched", num(r.provenance.meshes_searched));
+  prov.set("meshes_total", num(r.provenance.meshes_total));
+  prov.set("deadline_hit",
+           util::JsonValue::boolean(r.provenance.deadline_hit));
+  prov.set("fallback_reason", str(r.provenance.fallback_reason));
+  o.set("provenance", std::move(prov));
   o.set("cost", cost_to_json(r.cost, r.exposed_fraction));
   o.set("step", step_to_json(r.step));
   util::JsonValue contributors = util::JsonValue::array();
@@ -549,6 +569,15 @@ PlanReport from_json(const std::string& json) {
   TAP_CHECK(mesh.size() == 2) << "report mesh must be [dp, tp]";
   r.dp_replicas = static_cast<int>(mesh[0].as_int());
   r.num_shards = static_cast<int>(mesh[1].as_int());
+
+  const util::JsonValue& prov = doc.at("provenance");
+  r.provenance.source = plan_source_from_name(prov.at("source").as_string());
+  r.provenance.families_searched = prov.at("families_searched").as_int();
+  r.provenance.families_total = prov.at("families_total").as_int();
+  r.provenance.meshes_searched = prov.at("meshes_searched").as_int();
+  r.provenance.meshes_total = prov.at("meshes_total").as_int();
+  r.provenance.deadline_hit = prov.at("deadline_hit").as_bool();
+  r.provenance.fallback_reason = prov.at("fallback_reason").as_string();
 
   const util::JsonValue& cost = doc.at("cost");
   r.cost.forward_comm_s = cost.at("forward_comm_s").as_number();
@@ -651,6 +680,17 @@ std::string to_text(const PlanReport& r) {
   std::ostringstream os;
   os << "== Plan report: " << r.model << " (mesh "
      << mesh_string(r.dp_replicas, r.num_shards) << ") ==\n";
+  if (!r.provenance.complete()) {
+    os << "provenance " << core::plan_source_name(r.provenance.source)
+       << " (" << r.provenance.families_searched << "/"
+       << r.provenance.families_total << " families, "
+       << r.provenance.meshes_searched << "/" << r.provenance.meshes_total
+       << " meshes";
+    if (r.provenance.deadline_hit) os << ", deadline hit";
+    if (!r.provenance.fallback_reason.empty())
+      os << ", reason: " << r.provenance.fallback_reason;
+    os << ")\n";
+  }
   os << "comm cost " << ms(r.cost.total()) << " ms (forward "
      << ms(r.cost.forward_comm_s) << ", backward exposed "
      << ms(r.cost.backward_comm_s) << "; "

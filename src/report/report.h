@@ -149,6 +149,9 @@ struct PlanReport {
   std::string model;
   int dp_replicas = 1;
   int num_shards = 1;
+  /// How the plan came to be (complete / anytime / fallback) — the trust
+  /// label ISSUE 5 threads from the planner into every surfaced artifact.
+  core::PlanProvenance provenance;
   /// Recomputed with FinalizeCost's exact recipe (full-graph overlap
   /// window), so it matches TapResult::cost and the ledger sums.
   cost::PlanCost cost;

@@ -115,7 +115,11 @@ Fingerprint options_fingerprint(const core::TapOptions& opts) {
   u64(c.node_speeds.size());
   for (double s : c.node_speeds) f64(s);
   // NOTE: opts.threads deliberately excluded — plans are bit-identical at
-  // every thread count, so it must not fragment the cache.
+  // every thread count, so it must not fragment the cache. Likewise
+  // deadline_ms / max_checkpoints: they change how much of the search
+  // runs, not what a COMPLETE search produces, and only complete results
+  // are ever cached — keying on them would let a degraded request miss a
+  // perfectly good cached plan.
   return fp;
 }
 

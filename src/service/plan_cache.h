@@ -13,6 +13,14 @@
 // A disk hit is promoted into the memory tier; an insert writes both
 // tiers (the disk write is atomic: temp file + rename, so a crashed or
 // concurrent writer can never leave a torn file behind).
+//
+// Robustness (ISSUE 5): transient disk I/O failures (fault sites
+// cache.disk.read / cache.disk.write / cache.disk.rename) are retried
+// with linear backoff and counted (`cache.retry`); a file that parses as
+// garbage is renamed to `*.quarantine` once (`cache.quarantined`) so it
+// is never re-parsed; stale `*.tmp` files from a crashed writer are swept
+// at construction. Every degradation leaves the cache fully usable — the
+// worst case is a re-search.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +44,12 @@ struct PlanCacheOptions {
   int stripes = 8;
   /// Directory of the disk tier; empty = memory-only.
   std::string disk_dir;
+  /// Extra attempts after a transient disk I/O failure (so io_retries + 1
+  /// attempts total). Retries apply ONLY to I/O errors — an absent file is
+  /// a miss and a corrupt file is quarantined, neither is retried.
+  int io_retries = 2;
+  /// Backoff before retry k is k * retry_backoff_ms.
+  double retry_backoff_ms = 1.0;
 };
 
 struct PlanCacheStats {
@@ -47,6 +61,8 @@ struct PlanCacheStats {
   std::uint64_t disk_misses = 0;   ///< no file for the key
   std::uint64_t disk_rejects = 0;  ///< corrupt or version-mismatched file
   std::uint64_t disk_writes = 0;
+  std::uint64_t retries = 0;      ///< disk I/O retry attempts
+  std::uint64_t quarantined = 0;  ///< bad files renamed to *.quarantine
 };
 
 class PlanCache {
@@ -86,6 +102,9 @@ class PlanCache {
   };
 
   Stripe& stripe_for(const PlanKey& key);
+  /// Counts one retry (stats + cache.retry metric) and sleeps the linear
+  /// backoff for `attempt`.
+  void count_retry(int attempt);
   std::optional<core::PlanRecord> memory_lookup(const PlanKey& key);
   void memory_insert(const PlanKey& key, const core::PlanRecord& record);
   std::optional<core::PlanRecord> disk_lookup(const PlanKey& key,

@@ -1,11 +1,14 @@
 #include "service/planner_service.h"
 
+#include <chrono>
 #include <utility>
 
+#include "baselines/expert_plans.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sharding/routing.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace tap::service {
 
@@ -19,6 +22,10 @@ struct ServiceMetrics {
   obs::Counter* cache_hits = obs::registry().counter("service.cache_hits");
   obs::Counter* coalesced = obs::registry().counter("service.coalesced");
   obs::Histogram* search_ms = obs::registry().histogram("service.search_ms");
+  obs::Counter* deadline_hit =
+      obs::registry().counter("service.deadline_hit");
+  obs::Counter* fallback = obs::registry().counter("service.fallback");
+  obs::Counter* shed = obs::registry().counter("service.shed");
 };
 
 ServiceMetrics& service_metrics() {
@@ -141,20 +148,62 @@ core::TapResult PlannerService::materialize(
   return r;
 }
 
-core::TapResult PlannerService::run_search(const PlanRequest& req) {
+core::TapResult PlannerService::run_search(const PlanRequest& req,
+                                           util::CancellationToken cancel) {
+  // Fault site for the whole search ("the planner worker died"): a throw
+  // here propagates through the request future exactly like a real
+  // planner failure.
+  TAP_FAULT_POINT("service.search");
   if (opts_.search_override) return opts_.search_override(req);
   std::shared_ptr<const core::FamilySearchPolicy> policy;
   if (opts_.family_cache)
     policy = std::make_shared<CachingFamilyPolicy>(families_, nullptr);
   if (req.sweep_mesh)
-    return core::auto_parallel_best_mesh(*req.tg, req.opts, policy);
-  return core::auto_parallel(*req.tg, req.opts, policy);
+    return core::auto_parallel_best_mesh(*req.tg, req.opts, policy,
+                                         std::move(cancel));
+  return core::auto_parallel(*req.tg, req.opts, policy, std::move(cancel));
+}
+
+core::TapResult PlannerService::fallback_result(const PlanRequest& req,
+                                                const std::string& reason) {
+  service_metrics().fallback->add(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fallbacks;
+  }
+  const ir::TapGraph& tg = *req.tg;
+  // For a mesh sweep the fallback commits to full tensor parallelism over
+  // the whole world — the Megatron expert choice; a fixed-mesh request
+  // keeps its requested mesh.
+  const int tp =
+      req.sweep_mesh ? req.opts.cluster.world() : req.opts.num_shards;
+  sharding::ShardingPlan plan = baselines::megatron_plan(tg, tp);
+  sharding::RoutedPlan routed = sharding::route_plan(tg, plan);
+  if (!routed.valid) {
+    // Megatron's column/row pairing does not fit every graph; pure data
+    // parallelism routes on anything lowering accepts.
+    plan = baselines::data_parallel_plan(tg, tp);
+    routed = sharding::route_plan(tg, plan);
+  }
+  TAP_CHECK(routed.valid) << "fallback plan does not route: " << routed.error;
+  core::TapResult r;
+  r.best_plan = std::move(plan);
+  r.routed = std::move(routed);
+  r.cost = cost::comm_cost(r.routed, tp, req.opts.cluster, req.opts.cost);
+  r.pruning = pruning::prune_graph(tg, req.opts.prune);
+  r.provenance.source = core::PlanSource::kFallback;
+  r.provenance.fallback_reason = reason;
+  return r;
 }
 
 std::shared_future<core::TapResult> PlannerService::submit(
     const PlanRequest& req) {
   const PlanKey key = key_for(req);
   service_metrics().requests->add(1);
+
+  // The deadline clock starts now — queue wait behind other searches
+  // counts against the budget, which is the serving-side contract.
+  util::CancellationToken cancel = core::cancellation_for(req.opts);
 
   std::optional<core::PlanRecord> hit;
   auto prom = std::make_shared<std::promise<core::TapResult>>();
@@ -181,6 +230,14 @@ std::shared_future<core::TapResult> PlannerService::submit(
       ++stats_.cache_hits;
       service_metrics().cache_hits->add(1);
     } else {
+      // Load shedding happens last: only a request that would START a new
+      // search is shed — coalesced duplicates and cache hits cost almost
+      // nothing and are always served.
+      if (opts_.max_pending > 0 && inflight_.size() >= opts_.max_pending) {
+        ++stats_.shed;
+        service_metrics().shed->add(1);
+        throw OverloadedError(inflight_.size());
+      }
       fut = prom->get_future().share();
       inflight_.emplace(key, fut);
       search_seq = ++stats_.searches;
@@ -202,12 +259,16 @@ std::shared_future<core::TapResult> PlannerService::submit(
     s->async_begin("service.search", "service", search_seq);
 
   PlanRequest task_req = req;
-  pool_.submit([this, key, task_req, prom, search_seq] {
+  pool_.submit([this, key, task_req, prom, search_seq, cancel] {
     const bool traced = obs::tracing_enabled();
     const double t_start_us = traced ? obs::steady_now_us() : 0.0;
     try {
-      core::TapResult result = run_search(task_req);
-      cache_.insert(key, record_of(result), *task_req.tg);
+      core::TapResult result = run_search(task_req, cancel);
+      // Only COMPLETE plans enter the cache: an anytime plan reflects
+      // where a particular deadline happened to land, and caching it
+      // would serve that degraded plan to undeadlined requests forever.
+      if (result.provenance.complete())
+        cache_.insert(key, record_of(result), *task_req.tg);
       {
         std::lock_guard<std::mutex> lock(mu_);
         inflight_.erase(key);
@@ -231,6 +292,59 @@ std::shared_future<core::TapResult> PlannerService::submit(
   return fut;
 }
 
+core::TapResult PlannerService::plan(const PlanRequest& req) {
+  // Without a deadline plan() is a plain blocking wrapper: search errors
+  // propagate to the caller (tests rely on this; there is no silent
+  // degradation unless the caller opted into a latency budget).
+  if (req.opts.deadline_ms <= 0) return submit(req).get();
+
+  const auto count_deadline_hit = [this] {
+    service_metrics().deadline_hit->add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadline_hits;
+  };
+
+  std::shared_future<core::TapResult> fut;
+  try {
+    fut = submit(req);
+  } catch (const OverloadedError&) {
+    // A deadlined plan() never throws: shedding degrades to the expert
+    // fallback (submit already counted service.shed).
+    return fallback_result(req, "overloaded");
+  }
+
+  // The search polls the deadline cooperatively, so a deadlined result
+  // normally arrives just after the budget. The grace margin covers
+  // checkpoint granularity — and the coalesced case, where this request
+  // joined an UNDEADLINED in-flight search that will not stop on our
+  // budget. Past the grace we stop waiting and fall back; the abandoned
+  // future still completes and caches normally.
+  const auto budget = std::chrono::milliseconds(req.opts.deadline_ms);
+  const auto grace = budget + budget / 2 + std::chrono::milliseconds(50);
+  if (fut.wait_for(grace) != std::future_status::ready) {
+    count_deadline_hit();
+    core::TapResult r = fallback_result(req, "deadline");
+    r.provenance.deadline_hit = true;
+    return r;
+  }
+  try {
+    core::TapResult r = fut.get();
+    if (r.provenance.deadline_hit) count_deadline_hit();
+    return r;
+  } catch (const util::CancelledError&) {
+    // Cancelled before ANY factorization finished: nothing anytime to
+    // return, so degrade.
+    count_deadline_hit();
+    core::TapResult r = fallback_result(req, "deadline");
+    r.provenance.deadline_hit = true;
+    return r;
+  } catch (const std::exception& e) {
+    return fallback_result(req, e.what());
+  } catch (...) {
+    return fallback_result(req, "search failed");
+  }
+}
+
 std::shared_ptr<const report::PlanReport> PlannerService::explain(
     const PlanRequest& req) {
   const PlanKey key = key_for(req);
@@ -250,6 +364,14 @@ std::shared_ptr<const report::PlanReport> PlannerService::explain(
   core::TapResult result = plan(req);
   auto built = std::make_shared<const report::PlanReport>(
       report::build_report(*req.tg, result, req.opts, opts_.report));
+  if (!result.provenance.complete()) {
+    // Degraded plans depend on where a deadline landed; caching their
+    // reports under the plan key would pin one timing forever. Serve the
+    // report, count the build, cache nothing.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.report_builds;
+    return built;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = reports_.emplace(key, std::move(built));
   if (inserted) {

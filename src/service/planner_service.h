@@ -45,9 +45,22 @@
 #include "report/report.h"
 #include "service/fingerprint.h"
 #include "service/plan_cache.h"
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace tap::service {
+
+/// Thrown by submit()/plan() when ServiceOptions::max_pending is set and
+/// the service already has that many searches in flight — load shedding
+/// at the front door, so an overload fails fast instead of queueing
+/// unboundedly. Counted in ServiceStats::shed / `service.shed`.
+class OverloadedError : public std::runtime_error {
+ public:
+  explicit OverloadedError(std::size_t pending)
+      : std::runtime_error("PlannerService overloaded: " +
+                           std::to_string(pending) +
+                           " searches already pending") {}
+};
 
 /// One planning request. The graph is borrowed: the caller must keep it
 /// alive until the returned future resolves.
@@ -73,6 +86,13 @@ struct ServiceStats {
   /// explain() calls that built a fresh PlanReport vs served a cached one.
   std::uint64_t report_builds = 0;
   std::uint64_t report_hits = 0;
+  /// plan() calls whose deadline expired before the search completed
+  /// (the result was anytime or fallback).
+  std::uint64_t deadline_hits = 0;
+  /// plan() calls answered with the expert-baseline fallback plan.
+  std::uint64_t fallbacks = 0;
+  /// submit() calls rejected with OverloadedError.
+  std::uint64_t shed = 0;
 };
 
 struct ServiceOptions {
@@ -90,6 +110,11 @@ struct ServiceOptions {
   std::function<core::TapResult(const PlanRequest&)> search_override;
   /// Settings for the PlanReports explain() builds and caches.
   report::ReportOptions report;
+  /// Load-shedding bound: submit() throws OverloadedError when this many
+  /// searches are already in flight. 0 = unbounded (the default).
+  /// Coalesced duplicates and cache hits are never shed — only requests
+  /// that would start a NEW search count against the bound.
+  std::size_t max_pending = 0;
 };
 
 /// Thread-safe Fingerprint -> FamilySearchOutcome map, mutex-striped like
@@ -155,12 +180,19 @@ class PlannerService {
   /// Asynchronous entry point: coalesces, serves from cache, or schedules
   /// a search on the request pool. The future carries the search's
   /// exception if it throws (cache and in-flight state are cleaned up).
+  /// Throws OverloadedError when max_pending is set and exceeded. The
+  /// request's deadline clock (opts.deadline_ms) starts HERE, so time
+  /// spent queued behind other searches counts against the budget.
   std::shared_future<core::TapResult> submit(const PlanRequest& req);
 
-  /// Blocking convenience wrapper.
-  core::TapResult plan(const PlanRequest& req) {
-    return submit(req).get();
-  }
+  /// Blocking wrapper. Without a deadline (opts.deadline_ms <= 0) this is
+  /// submit().get() — exceptions propagate. WITH a deadline it is the
+  /// serving-side contract of ISSUE 5: it returns a valid routed plan
+  /// within (approximately) the budget and NEVER throws from the search —
+  /// an overrun or failed search degrades to the expert-baseline fallback
+  /// plan, marked in TapResult::provenance and counted in
+  /// ServiceStats::deadline_hits / fallbacks.
+  core::TapResult plan(const PlanRequest& req);
 
   /// Plans `req` (through the normal submit path: coalesced / cached) and
   /// returns its explainability report. Reports are deterministic
@@ -179,7 +211,14 @@ class PlannerService {
   const ServiceOptions& options() const { return opts_; }
 
  private:
-  core::TapResult run_search(const PlanRequest& req);
+  core::TapResult run_search(const PlanRequest& req,
+                             util::CancellationToken cancel);
+  /// Degraded-mode answer when a deadlined plan() got nothing from the
+  /// search: the Megatron expert plan from baselines:: (pure-DP if even
+  /// that does not route), routed + costed, marked kFallback. Never
+  /// cached.
+  core::TapResult fallback_result(const PlanRequest& req,
+                                  const std::string& reason);
   /// Rebuilds a full TapResult from a cached record: plan/cost/stats come
   /// from the record; pruning and routing are recomputed (both
   /// deterministic), so the hit is indistinguishable from a cold search.

@@ -27,13 +27,17 @@ ThreadPool::ThreadPool(int threads) : threads_(resolve(threads)) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(m_);
+    if (stop_) return;  // idempotent: workers were already joined
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

@@ -36,6 +36,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -45,6 +46,14 @@
 #include "obs/trace.h"
 
 namespace tap::util {
+
+/// Thrown by submit() on a pool that has been shut down. A typed error
+/// (rather than UB or a silently-dropped task) lets the PlannerService
+/// surface teardown races as failed futures instead of hangs.
+class PoolStoppedError : public std::runtime_error {
+ public:
+  PoolStoppedError() : std::runtime_error("ThreadPool is shut down") {}
+};
 
 namespace internal {
 /// Process-wide submit()-queue metrics: `pool.queue_depth` gauge and
@@ -72,6 +81,13 @@ class ThreadPool {
   /// Total concurrency (workers + the calling thread).
   int size() const { return threads_; }
 
+  /// Stops accepting work, drains the submit() queue, and joins the
+  /// workers. Idempotent; the destructor calls it. After shutdown,
+  /// submit() throws PoolStoppedError (and every future returned before
+  /// the call has already resolved). Single-owner operation: must not
+  /// race a parallel_for on the same pool.
+  void shutdown();
+
   /// Runs fn(0) .. fn(n-1) across the pool and blocks until every index
   /// completed. fn must be safe to call concurrently for distinct indices.
   /// Not reentrant: one parallel_for at a time per pool.
@@ -82,14 +98,19 @@ class ThreadPool {
   /// escaping `f` is stored in the future and rethrown by get() — never
   /// dropped. With no workers (threads <= 1) the task runs inline here and
   /// the returned future is already ready. Tasks still queued when the
-  /// pool is destroyed are drained (run to completion) before the workers
-  /// exit, so every returned future eventually resolves.
+  /// pool is shut down / destroyed are drained (run to completion) before
+  /// the workers exit, so every returned future eventually resolves.
+  /// Throws PoolStoppedError after shutdown().
   template <typename F>
   auto submit(F f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
     std::future<R> fut = task->get_future();
     if (workers_.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        if (stop_) throw PoolStoppedError();
+      }
       (*task)();
       return fut;
     }
@@ -99,6 +120,7 @@ class ThreadPool {
         obs::tracing_enabled() ? obs::steady_now_us() : 0.0;
     {
       std::lock_guard<std::mutex> lock(m_);
+      if (stop_) throw PoolStoppedError();
       tasks_.emplace_back([task, enqueue_us] {
         if (enqueue_us > 0.0)
           internal::pool_metrics().task_wait_ms->observe(
