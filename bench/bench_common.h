@@ -24,6 +24,7 @@
 #include "models/models.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -147,16 +148,21 @@ class BenchReporter {
       std::cerr << "BenchReporter: cannot write " << path << "\n";
       return "";
     }
-    out << "{\"bench\":\"" << name_ << "\",\"figures\":{";
+    // Keys and notes are caller-supplied prose (model names, error
+    // strings): escape everything interpolated into the document or one
+    // quote/newline corrupts the whole record.
+    out << "{\"bench\":\"" << util::json_escape(name_)
+        << "\",\"figures\":{";
     for (std::size_t i = 0; i < figures_.size(); ++i) {
       if (i > 0) out << ",";
-      out << "\"" << figures_[i].first << "\":"
-          << util::fmt("%.17g", figures_[i].second);
+      out << "\"" << util::json_escape(figures_[i].first)
+          << "\":" << util::fmt("%.17g", figures_[i].second);
     }
     out << "},\"notes\":{";
     for (std::size_t i = 0; i < notes_.size(); ++i) {
       if (i > 0) out << ",";
-      out << "\"" << notes_[i].first << "\":\"" << notes_[i].second << "\"";
+      out << "\"" << util::json_escape(notes_[i].first) << "\":\""
+          << util::json_escape(notes_[i].second) << "\"";
     }
     out << "},\"metrics\":" << obs::dump_json() << "}\n";
     std::cout << "bench record written to " << path << "\n";

@@ -1,0 +1,95 @@
+// Raw kernel interface for batched candidate costing (ISSUE 6).
+//
+// CommEventBatch (cost/comm_batch.h) lays the comm events of up to
+// kCostBatchWidth routed candidates out as structure-of-arrays rows; the
+// kernels below reduce every lane to its PlanCost accumulators in one
+// pass. Two implementations share this interface:
+//
+//   * comm_cost_kernel_scalar — the reference. Per lane it replays the
+//     exact floating-point operation sequence of cost::comm_cost /
+//     cost::collective_time, one event row at a time.
+//   * comm_cost_kernel_avx2   — the same math over 8 candidate lanes of
+//     AVX2 doubles (two 4-wide halves) with exec-mask blends instead of
+//     branches. Multiplies, divides and adds are IEEE-correctly rounded
+//     in both scalar and vector form and FMA contraction is disabled for
+//     the AVX2 translation unit, so the two kernels produce bit-identical
+//     doubles — the repo's determinism guarantees (cache keys,
+//     byte-identical plans at any thread count) depend on this.
+//
+// This header is deliberately bare: PODs and free functions only, no
+// includes beyond <cstddef>/<cstdint>. The AVX2 translation unit is
+// compiled with -mavx2, and any inline function it pulled in from a
+// shared header could be vectorized there and then win COMDAT selection
+// for the whole binary — an illegal-instruction trap on pre-AVX2 hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tap::cost {
+
+/// Candidates evaluated per kernel pass (lanes per batch).
+inline constexpr int kCostBatchWidth = 8;
+
+/// Read-only SoA view of one CommEventBatch plus the uniform cluster
+/// scalars. Event arrays hold `rows * kCostBatchWidth` entries, row-major
+/// (row r, lane l at index r * kCostBatchWidth + l); per-lane arrays hold
+/// kCostBatchWidth entries. Mask arrays use all-ones / all-zeros 64-bit
+/// patterns so the vector kernel can load them directly as blend masks.
+struct CommBatchView {
+  // ---- per event slot -----------------------------------------------------
+  const double* bytes_d = nullptr;     ///< double(event.bytes)
+  const double* count_d = nullptr;     ///< double(event.count)
+  const double* group_d = nullptr;     ///< double(resolved group size)
+  const double* eff = nullptr;         ///< collective_efficiency(kind)
+  const double* wire_mul = nullptr;    ///< 2.0 for AllReduce, else 1.0
+  const double* steps_mul = nullptr;   ///< 2.0 for AllReduce, else 1.0
+  const std::uint64_t* m_active = nullptr;     ///< kind!=None, group>1, bytes>0
+  const std::uint64_t* m_overlap = nullptr;    ///< event.overlappable
+  const std::uint64_t* m_backward = nullptr;   ///< phase == kBackward
+  const std::uint64_t* m_cross = nullptr;      ///< event.cross_node
+  const std::uint64_t* m_broadcast = nullptr;  ///< kind == kBroadcast
+  const std::int64_t* bytes_count = nullptr;   ///< event.bytes * event.count
+
+  // ---- per lane -----------------------------------------------------------
+  const double* window = nullptr;  ///< CostOptions::overlap_window_s
+  const double* frac = nullptr;    ///< CostOptions::exposed_overlap_fraction
+  /// Real (un-padded) event rows per lane. The scalar kernel stops each
+  /// lane here, exactly like comm_cost; the vector kernel instead relies
+  /// on padding rows being all-zero (masked to a +0.0 contribution).
+  const std::size_t* lane_rows = nullptr;
+
+  std::size_t rows = 0;
+
+  // ---- uniform cluster scalars (ClusterSpec) ------------------------------
+  double intra_bw = 0.0;
+  double inter_bw = 0.0;
+  double intra_latency = 0.0;
+  double inter_latency = 0.0;
+  double gpus_per_node_d = 0.0;
+  bool spans_nodes = false;
+};
+
+/// Per-lane PlanCost accumulators. backward_s already includes the
+/// exposed share of the overlappable time (the overlap discount runs
+/// inside the kernel, per lane).
+struct CommBatchResult {
+  double forward_s[kCostBatchWidth];
+  double backward_s[kCostBatchWidth];
+  double overlappable_s[kCostBatchWidth];
+  std::int64_t bytes[kCostBatchWidth];
+};
+
+/// Reference kernel: scalar per-lane replay of cost::comm_cost's math.
+void comm_cost_kernel_scalar(const CommBatchView& view, CommBatchResult* out);
+
+/// AVX2 kernel. Only callable when avx2_kernel_compiled() — the scalar
+/// dispatcher (cost/comm_batch.cpp) additionally checks the CPU at
+/// runtime before routing batches here.
+void comm_cost_kernel_avx2(const CommBatchView& view, CommBatchResult* out);
+
+/// True when this binary contains the AVX2 kernel (x86-64 build with a
+/// compiler that accepts -mavx2).
+bool avx2_kernel_compiled();
+
+}  // namespace tap::cost

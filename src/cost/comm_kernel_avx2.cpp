@@ -1,0 +1,149 @@
+// AVX2 batch cost kernel (ISSUE 6). Compiled as its own translation unit
+// with -mavx2 -mno-fma -ffp-contract=off (see src/CMakeLists.txt):
+// vectorization is ACROSS candidate lanes only, every lane accumulates
+// its own events in row order, and with FMA contraction off each vmulpd /
+// vdivpd / vaddpd is the same correctly-rounded IEEE operation the scalar
+// kernel performs — so the results are bit-identical to
+// comm_cost_kernel_scalar, which the CostKernel/BitIdentity tests enforce
+// across the zoo and under differential fuzzing.
+//
+// Branches become exec masks (the CppSPMD idiom): every lane computes the
+// full collective-time expression and the masks select, per lane, the
+// broadcast wire volume, the intra/inter link, and the
+// forward/backward/overlappable accumulator. Inactive lanes (padding
+// rows, degenerate groups) are squashed to +0.0 by a bitwise AND with the
+// active mask before accumulation.
+//
+// This file must not include any repo header except cost/comm_kernel.h:
+// an inline function from a shared header compiled here under -mavx2
+// could win COMDAT selection and crash pre-AVX2 hosts.
+#include "cost/comm_kernel.h"
+
+#if defined(TAP_COST_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+namespace tap::cost {
+
+namespace {
+
+inline __m256d load_mask(const std::uint64_t* p) {
+  return _mm256_castsi256_pd(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+}  // namespace
+
+bool avx2_kernel_compiled() { return true; }
+
+void comm_cost_kernel_avx2(const CommBatchView& view, CommBatchResult* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d intra_bw = _mm256_set1_pd(view.intra_bw);
+  const __m256d inter_bw = _mm256_set1_pd(view.inter_bw);
+  const __m256d intra_lat = _mm256_set1_pd(view.intra_latency);
+  const __m256d inter_lat = _mm256_set1_pd(view.inter_latency);
+  const __m256d gpn = _mm256_set1_pd(view.gpus_per_node_d);
+  const __m256d one = _mm256_set1_pd(1.0);
+
+  for (int half = 0; half < kCostBatchWidth / 4; ++half) {
+    const std::size_t lane0 = static_cast<std::size_t>(half) * 4;
+    __m256d acc_fwd = zero;
+    __m256d acc_bwd = zero;
+    __m256d acc_ovl = zero;
+    __m256i acc_bytes = _mm256_setzero_si256();
+
+    for (std::size_t r = 0; r < view.rows; ++r) {
+      const std::size_t i = r * kCostBatchWidth + lane0;
+      const __m256d b = _mm256_loadu_pd(view.bytes_d + i);
+      const __m256d cnt = _mm256_loadu_pd(view.count_d + i);
+      const __m256d p = _mm256_loadu_pd(view.group_d + i);
+      const __m256d eff = _mm256_loadu_pd(view.eff + i);
+      const __m256d wmul = _mm256_loadu_pd(view.wire_mul + i);
+      const __m256d smul = _mm256_loadu_pd(view.steps_mul + i);
+      const __m256d m_active = load_mask(view.m_active + i);
+      const __m256d m_ovl = load_mask(view.m_overlap + i);
+      const __m256d m_bwd = load_mask(view.m_backward + i);
+      const __m256d m_bcast = load_mask(view.m_broadcast + i);
+      const __m256d m_inter =
+          view.spans_nodes ? load_mask(view.m_cross + i) : zero;
+
+      // wire = broadcast ? b : wire_mul * (p - 1) / p * b
+      // (left-assoc, exactly collective_wire_bytes' operation order; the
+      // 1.0 * (p - 1) of the non-AllReduce kinds is an exact identity).
+      const __m256d pm1 = _mm256_sub_pd(p, one);
+      __m256d wire = _mm256_mul_pd(
+          _mm256_div_pd(_mm256_mul_pd(wmul, pm1), p), b);
+      wire = _mm256_blendv_pd(wire, b, m_bcast);
+
+      // Link selection: small groups ride the intra-node fabric unless the
+      // collective crosses nodes (dp traffic) on a multi-node cluster.
+      const __m256d m_small = _mm256_cmp_pd(p, gpn, _CMP_LE_OQ);
+      __m256d raw_bw = _mm256_blendv_pd(inter_bw, intra_bw, m_small);
+      raw_bw = _mm256_blendv_pd(raw_bw, inter_bw, m_inter);
+      __m256d lat = _mm256_blendv_pd(inter_lat, intra_lat, m_small);
+      lat = _mm256_blendv_pd(lat, inter_lat, m_inter);
+
+      const __m256d bw = _mm256_mul_pd(raw_bw, eff);
+      const __m256d steps = _mm256_mul_pd(smul, pm1);
+
+      // t = (steps * lat + wire / bw) * count, masked to +0.0 when the
+      // event is degenerate (kind none, group <= 1, bytes <= 0, padding).
+      __m256d t = _mm256_mul_pd(
+          _mm256_add_pd(_mm256_mul_pd(steps, lat), _mm256_div_pd(wire, bw)),
+          cnt);
+      t = _mm256_and_pd(t, m_active);
+
+      // One accumulator per event, in the scalar kernel's priority order:
+      // overlappable, else backward phase, else forward.
+      acc_ovl = _mm256_add_pd(acc_ovl, _mm256_and_pd(t, m_ovl));
+      const __m256d t_rest = _mm256_andnot_pd(m_ovl, t);
+      acc_bwd = _mm256_add_pd(acc_bwd, _mm256_and_pd(t_rest, m_bwd));
+      acc_fwd = _mm256_add_pd(acc_fwd, _mm256_andnot_pd(m_bwd, t_rest));
+
+      // Logical bytes accumulate unconditionally, like comm_cost
+      // (padding slots carry zero).
+      acc_bytes = _mm256_add_epi64(
+          acc_bytes, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                         view.bytes_count + i)));
+    }
+
+    // Per-lane overlap discount (comm_cost's tail): with a window,
+    // exposed = (0 < ovl - window) ? ovl - window : 0 — std::max's exact
+    // comparison semantics, including NaN falling to 0; without one,
+    // exposed = ovl * fraction.
+    const __m256d wv = _mm256_loadu_pd(view.window + lane0);
+    const __m256d fv = _mm256_loadu_pd(view.frac + lane0);
+    const __m256d diff = _mm256_sub_pd(acc_ovl, wv);
+    const __m256d exp_w =
+        _mm256_and_pd(diff, _mm256_cmp_pd(zero, diff, _CMP_LT_OQ));
+    const __m256d exp_f = _mm256_mul_pd(acc_ovl, fv);
+    const __m256d exposed = _mm256_blendv_pd(
+        exp_f, exp_w, _mm256_cmp_pd(wv, zero, _CMP_GE_OQ));
+    acc_bwd = _mm256_add_pd(acc_bwd, exposed);
+
+    _mm256_storeu_pd(out->forward_s + lane0, acc_fwd);
+    _mm256_storeu_pd(out->backward_s + lane0, acc_bwd);
+    _mm256_storeu_pd(out->overlappable_s + lane0, acc_ovl);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out->bytes + lane0),
+                        acc_bytes);
+  }
+}
+
+}  // namespace tap::cost
+
+#else  // !TAP_COST_KERNEL_AVX2
+
+namespace tap::cost {
+
+bool avx2_kernel_compiled() { return false; }
+
+void comm_cost_kernel_avx2(const CommBatchView& view, CommBatchResult* out) {
+  // Unreachable by construction: the dispatcher never selects the AVX2
+  // kernel when it is not compiled in. Fall back to the reference so a
+  // direct caller still gets correct results.
+  comm_cost_kernel_scalar(view, out);
+}
+
+}  // namespace tap::cost
+
+#endif  // TAP_COST_KERNEL_AVX2

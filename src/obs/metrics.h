@@ -18,6 +18,9 @@
 //   service.coalesced           counter, single-flight joins
 //   pool.queue_depth            gauge, submit() tasks waiting
 //   pool.task_wait_ms           histogram, submit() queue latency
+//   cost.kernel_width           gauge, lanes per batch-cost pass (8=AVX2)
+//   cost.batches                counter, comm_cost_batch kernel passes
+//   cost.candidates_batched     counter, candidate lanes costed
 //
 // The process-wide registry is obs::registry(); subsystems cache handle
 // pointers (handles live as long as the registry, which is never

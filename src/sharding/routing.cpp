@@ -16,19 +16,20 @@ using ir::TapGraph;
 struct Router {
   const TapGraph& tg;
   const ShardingPlan& plan;
-  const std::vector<GraphNodeId>* members = nullptr;  // nullptr = all
-  ShardSpec boundary = ShardSpec::replicate();
-  const PatternTable* table = nullptr;  // optional precomputed patterns
-  RoutedPlan out;
-  std::vector<ShardingPattern> patterns_storage_;
-  // Producers whose partial input-gradient AllReduce is already emitted:
-  // several column-split consumers of one tensor (Megatron's fused QKV)
-  // sum their partials into ONE AllReduce, not one each.
-  std::vector<bool> igrad_emitted_;
-  // Layouts already materialized per producer: once one consumer paid the
-  // AllGather from S(0) to R, every other consumer reads the gathered copy
-  // for free (NCCL buffers are reusable within a step).
-  std::vector<std::vector<ShardSpec>> materialized_;
+  const std::vector<GraphNodeId>* members;  // nullptr = all
+  ShardSpec boundary;
+  const PatternTable* table;  // optional precomputed patterns
+  // Working state lives in caller-owned buffers so repeated candidate
+  // routes reuse capacity instead of reallocating (RoutingScratch docs).
+  // scratch.igrad_emitted: producers whose partial input-gradient
+  // AllReduce is already emitted — several column-split consumers of one
+  // tensor (Megatron's fused QKV) sum their partials into ONE AllReduce,
+  // not one each. scratch.materialized: layouts already materialized per
+  // producer — once one consumer paid the AllGather from S(0) to R, every
+  // other consumer reads the gathered copy for free (NCCL buffers are
+  // reusable within a step).
+  RoutingScratch& scratch;
+  RoutedPlan& out;
 
   bool fail(const GraphNode& n, const std::string& why) {
     std::ostringstream os;
@@ -87,12 +88,14 @@ struct Router {
       out.edge_conversions.push_back({producer, consumer.id, have, want});
     }
     if (producer != ir::kInvalidGraphNode) {
-      if (materialized_.empty()) materialized_.resize(tg.num_nodes());
+      if (scratch.materialized.size() < tg.num_nodes())
+        scratch.materialized.resize(tg.num_nodes());
       auto& layouts =
-          materialized_[static_cast<std::size_t>(producer)];
+          scratch.materialized[static_cast<std::size_t>(producer)];
       for (const ShardSpec& ready : layouts) {
         if (ready.same_layout(want, rank)) return true;  // already paid
       }
+      if (layouts.empty()) scratch.materialized_touched.push_back(producer);
       layouts.push_back(want);
     }
     const std::size_t before = out.comms.size();
@@ -126,32 +129,43 @@ struct Router {
 
   bool run() {
     const int parts = plan.num_shards;
+    out.valid = false;
+    out.error.clear();
     out.num_shards = plan.num_shards;
     out.dp_replicas = plan.dp_replicas;
+    out.comms.clear();
+    out.edge_conversions.clear();
     out.output_spec.assign(tg.num_nodes(), boundary);
     out.pattern_index.assign(tg.num_nodes(), 0);
     TAP_CHECK_EQ(plan.choice.size(), tg.num_nodes());
 
+    // Reset reused scratch in O(entries the previous route touched).
+    for (GraphNodeId id : scratch.igrad_touched)
+      scratch.igrad_emitted[static_cast<std::size_t>(id)] = 0;
+    scratch.igrad_touched.clear();
+    for (GraphNodeId id : scratch.materialized_touched)
+      scratch.materialized[static_cast<std::size_t>(id)].clear();
+    scratch.materialized_touched.clear();
+
     // Visit order: the whole graph topologically, or just the subgraph
     // members sorted by cached topological position — candidate
     // evaluation must cost O(members), not O(V) (Table 2).
-    std::vector<GraphNodeId> sorted_members;
     if (members != nullptr) {
-      sorted_members = *members;
-      std::sort(sorted_members.begin(), sorted_members.end(),
+      scratch.sorted_members.assign(members->begin(), members->end());
+      std::sort(scratch.sorted_members.begin(), scratch.sorted_members.end(),
                 [&](GraphNodeId a, GraphNodeId b) {
                   return tg.topo_position(a) < tg.topo_position(b);
                 });
     }
     const std::vector<GraphNodeId>& scope =
-        members == nullptr ? tg.cached_topo_order() : sorted_members;
+        members == nullptr ? tg.cached_topo_order() : scratch.sorted_members;
 
     // Algorithm 3 walks the DAG from roots to leaves; a topological order
     // visits each node exactly once with all producers resolved.
     for (GraphNodeId id : scope) {
       const GraphNode& n = tg.node(id);
       const std::vector<ShardingPattern>& pats =
-          table != nullptr ? table->at(id) : patterns_storage_ =
+          table != nullptr ? table->at(id) : scratch.patterns =
                                                  patterns_for(tg, id, parts);
       int c = plan.choice[static_cast<std::size_t>(id)];
       if (c < 0 || c >= static_cast<int>(pats.size())) {
@@ -294,10 +308,11 @@ struct Router {
           // AllReduce per producer tensor, shared by all split consumers.
           const std::size_t p =
               static_cast<std::size_t>(n.inputs.front());
-          if (igrad_emitted_.empty())
-            igrad_emitted_.assign(tg.num_nodes(), false);
-          if (!igrad_emitted_[p]) {
-            igrad_emitted_[p] = true;
+          if (scratch.igrad_emitted.size() < tg.num_nodes())
+            scratch.igrad_emitted.resize(tg.num_nodes(), 0);
+          if (!scratch.igrad_emitted[p]) {
+            scratch.igrad_emitted[p] = 1;
+            scratch.igrad_touched.push_back(n.inputs.front());
             emit(pat.backward_comm, act_bytes(in_tensor->size_bytes()), 1,
                  CommEvent::Phase::kBackward, false, id,
                  "igrad:" + pat.name, n.inputs.front());
@@ -341,18 +356,37 @@ std::int64_t RoutedPlan::overlappable_comm_bytes() const {
 
 RoutedPlan route_plan(const ir::TapGraph& tg, const ShardingPlan& plan,
                       const PatternTable* table) {
-  Router r{tg, plan, nullptr, ShardSpec::replicate(), table, {}, {}, {}, {}};
-  r.run();
-  return std::move(r.out);
+  RoutedPlan out;
+  RoutingScratch scratch;
+  route_plan_into(tg, plan, table, &scratch, &out);
+  return out;
 }
 
 RoutedPlan route_subgraph(const ir::TapGraph& tg, const ShardingPlan& plan,
                           const std::vector<ir::GraphNodeId>& members,
                           const ShardSpec& boundary,
                           const PatternTable* table) {
-  Router r{tg, plan, &members, boundary, table, {}, {}, {}, {}};
+  RoutedPlan out;
+  RoutingScratch scratch;
+  route_subgraph_into(tg, plan, members, boundary, table, &scratch, &out);
+  return out;
+}
+
+void route_subgraph_into(const ir::TapGraph& tg, const ShardingPlan& plan,
+                         const std::vector<ir::GraphNodeId>& members,
+                         const ShardSpec& boundary, const PatternTable* table,
+                         RoutingScratch* scratch, RoutedPlan* out) {
+  TAP_CHECK(scratch != nullptr && out != nullptr);
+  Router r{tg, plan, &members, boundary, table, *scratch, *out};
   r.run();
-  return std::move(r.out);
+}
+
+void route_plan_into(const ir::TapGraph& tg, const ShardingPlan& plan,
+                     const PatternTable* table, RoutingScratch* scratch,
+                     RoutedPlan* out) {
+  TAP_CHECK(scratch != nullptr && out != nullptr);
+  Router r{tg, plan, nullptr, ShardSpec::replicate(), table, *scratch, *out};
+  r.run();
 }
 
 ShardSpec subgraph_exit_spec(const ir::TapGraph& tg, const RoutedPlan& routed,

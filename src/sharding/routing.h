@@ -82,6 +82,27 @@ struct RoutedPlan {
   std::int64_t overlappable_comm_bytes() const;
 };
 
+/// Reusable working buffers for the router. One route allocates them; a
+/// second route through the same scratch reuses the capacity, touching
+/// only the entries the previous route dirtied — this is what makes the
+/// planner's per-candidate routing allocation-free in steady state
+/// (cost::CostArena holds one per search thread). Default-constructed
+/// scratch is valid for any graph.
+struct RoutingScratch {
+  std::vector<ir::GraphNodeId> sorted_members;
+  /// Producers whose partial input-gradient AllReduce is already emitted,
+  /// indexed by GraphNodeId; `igrad_touched` lists the set entries so the
+  /// next route clears them in O(touched), not O(V).
+  std::vector<char> igrad_emitted;
+  std::vector<ir::GraphNodeId> igrad_touched;
+  /// Layouts already materialized per producer (AllGather dedup), with
+  /// the same touched-list reset discipline.
+  std::vector<std::vector<ShardSpec>> materialized;
+  std::vector<ir::GraphNodeId> materialized_touched;
+  /// Pattern storage for table-less routing.
+  std::vector<ShardingPattern> patterns;
+};
+
 /// Routes `plan` over the whole TapGraph. Always returns a RoutedPlan;
 /// check `valid` / `error`.
 RoutedPlan route_plan(const ir::TapGraph& tg, const ShardingPlan& plan,
@@ -99,6 +120,22 @@ RoutedPlan route_subgraph(
     const std::vector<ir::GraphNodeId>& members,
     const ShardSpec& boundary = ShardSpec::replicate(),
     const PatternTable* table = nullptr);
+
+/// route_subgraph into caller-owned buffers: `out`'s vectors and
+/// `scratch` are cleared and reused instead of reallocated, so repeated
+/// candidate evaluation (FamilySearchContext::stage) allocates nothing
+/// once capacities warm up. `out` must not alias a RoutedPlan reachable
+/// from `scratch`. Results are identical to route_subgraph.
+void route_subgraph_into(const ir::TapGraph& tg, const ShardingPlan& plan,
+                         const std::vector<ir::GraphNodeId>& members,
+                         const ShardSpec& boundary, const PatternTable* table,
+                         RoutingScratch* scratch, RoutedPlan* out);
+
+/// route_plan into caller-owned buffers (same contract as
+/// route_subgraph_into).
+void route_plan_into(const ir::TapGraph& tg, const ShardingPlan& plan,
+                     const PatternTable* table, RoutingScratch* scratch,
+                     RoutedPlan* out);
 
 /// Layout a routed subgraph hands to downstream consumers: the output spec
 /// of the last member (in topological order) with a consumer outside

@@ -313,16 +313,6 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 std::string number_repr(double v) {
   // Exact integers (every count/bytes field) print without a fraction.
   if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199e15) {
@@ -336,6 +326,46 @@ std::string number_repr(double v) {
 }
 
 }  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 JsonValue JsonValue::parse(std::string_view text) {
   return Parser(text).document();
@@ -354,7 +384,7 @@ std::string JsonValue::dump() const {
       os << number_repr(num_);
       break;
     case Kind::kString:
-      os << "\"" << escape(str_) << "\"";
+      os << "\"" << json_escape(str_) << "\"";
       break;
     case Kind::kArray: {
       os << "[";
@@ -373,7 +403,7 @@ std::string JsonValue::dump() const {
       for (const auto& [k, v] : members_) {
         if (!first) os << ",";
         first = false;
-        os << "\"" << escape(k) << "\":" << v.dump();
+        os << "\"" << json_escape(k) << "\":" << v.dump();
       }
       os << "}";
       break;

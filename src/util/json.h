@@ -15,6 +15,13 @@
 
 namespace tap::util {
 
+/// JSON string-body escaping (no surrounding quotes): `"` and `\` are
+/// backslash-escaped and control characters become \b \f \n \r \t or
+/// \u00XX, so the result is always a legal JSON string body. Everything
+/// the repo writes by hand (JsonValue::dump, bench::BenchReporter)
+/// funnels through this; ad-hoc emitters should too.
+std::string json_escape(std::string_view s);
+
 class JsonValue {
  public:
   enum class Kind : std::uint8_t {

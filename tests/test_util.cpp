@@ -8,7 +8,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include <cstdlib>
+#include <fstream>
+
+#include "bench/bench_common.h"
 #include "util/hash.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -16,6 +21,48 @@
 
 namespace tap::util {
 namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(json_escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonEscape, DumpedStringsRoundTripThroughTheParser) {
+  const std::string nasty = "quote \" slash \\ nl \n cr \r tab \t ctl \x02";
+  JsonValue v = JsonValue::object();
+  v.set(nasty, JsonValue::string(nasty));
+  const JsonValue parsed = JsonValue::parse(v.dump());
+  ASSERT_EQ(parsed.members().size(), 1u);
+  EXPECT_EQ(parsed.members()[0].first, nasty);
+  EXPECT_EQ(parsed.members()[0].second.as_string(), nasty);
+}
+
+TEST(BenchReporter, RecordSurvivesHostileNotesAndParses) {
+  const std::string dir = ::testing::TempDir();
+  setenv("TAP_BENCH_JSON", dir.c_str(), 1);
+  bench::BenchReporter reporter("escape_check");
+  reporter.add("speedup_x", 2.5);
+  reporter.note("model \"quoted\"", "line1\nline2\\end");
+  const std::string path = reporter.write();
+  unsetenv("TAP_BENCH_JSON");
+  ASSERT_FALSE(path.empty());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // The quote/newline in the note must not corrupt the document.
+  const JsonValue doc = JsonValue::parse(text);
+  EXPECT_EQ(doc.at("bench").as_string(), "escape_check");
+  EXPECT_EQ(doc.at("figures").at("speedup_x").as_number(), 2.5);
+  EXPECT_EQ(doc.at("notes").at("model \"quoted\"").as_string(),
+            "line1\nline2\\end");
+}
 
 TEST(Rng, DeterministicPerSeed) {
   Rng a(42), b(42), c(43);
