@@ -1,0 +1,196 @@
+// Networked plan-serving load bench (ISSUE 7): a closed-loop driver
+// hammers one in-process tap_serve stack (PlannerService + PlanHandler +
+// HttpServer on an ephemeral port) with a Zipf-skewed mix of plan
+// requests over persistent keep-alive connections — the canonical
+// serving-tier shape, where a few hot architectures dominate and the
+// cache tier should absorb them.
+//
+// Reported: sustained throughput, latency p50/p95/p99, cache-hit ratio,
+// and shed rate; the figures land in BENCH_service_load.json when
+// TAP_BENCH_JSON is set (CI's bench-smoke artifact path). The driver is
+// deterministic (util::Rng, fixed seeds); wall-clock figures of course
+// are not.
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/http_server.h"
+#include "net/plan_client.h"
+#include "net/plan_handler.h"
+#include "service/planner_service.h"
+#include "service/wire.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace tap;
+
+/// The request mix: small fixed-mesh problems (search cost stays modest,
+/// which keeps the bench about the serving tier, not the planner).
+std::vector<service::ModelSpec> request_mix() {
+  std::vector<service::ModelSpec> mix;
+  for (const auto& [layers, dp, tp] :
+       {std::tuple<int, int, int>{2, 2, 4}, {2, 1, 8}, {4, 2, 4}, {4, 4, 2}}) {
+    service::ModelSpec spec;
+    spec.model = "t5";
+    spec.layers = layers;
+    spec.nodes = 1;
+    spec.gpus = 8;
+    spec.dp = dp;
+    spec.tp = tp;
+    mix.push_back(spec);
+  }
+  return mix;
+}
+
+/// Zipf(s) sampler over [0, n) via inverse CDF of precomputed weights.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s) / total;
+      cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;
+  }
+
+  std::size_t sample(util::Rng& rng) const {
+    const double u = rng.next_double();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace tap;
+  bench::header("Plan-serving tier under Zipf-skewed closed-loop load",
+                "networked serving (ISSUE 7)");
+
+  const std::vector<service::ModelSpec> mix = request_mix();
+  std::vector<std::string> bodies;
+  for (const auto& spec : mix)
+    bodies.push_back(service::model_spec_to_json(spec));
+
+  service::PlannerService svc;
+  net::PlanHandler handler(&svc, {});
+  net::HttpServerOptions sopts;
+  sopts.connection_threads = 8;
+  net::HttpServer server(
+      [&handler](const net::HttpMessage& r) { return handler.handle(r); },
+      sopts);
+  server.start();
+
+  const int kClients = 4;
+  const int kRequestsPerClient = 100;
+  const double kZipfS = 1.2;
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<int> errors(kClients, 0);
+  util::Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(0x5eedu + static_cast<std::uint64_t>(c));
+      Zipf zipf(mix.size(), kZipfS);
+      net::HttpConnection conn({"127.0.0.1", server.bound_port()}, {});
+      net::HttpMessage post;
+      post.method = "POST";
+      post.target = "/plan";
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        post.body = bodies[zipf.sample(rng)];
+        util::Stopwatch sw;
+        try {
+          net::HttpMessage resp = conn.request(post);
+          if (resp.status != 200) ++errors[c];
+        } catch (const net::HttpClientError&) {
+          ++errors[c];
+        }
+        latencies[c].push_back(sw.elapsed_millis());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = wall.elapsed_seconds();
+  server.stop();
+
+  std::vector<double> all;
+  int total_errors = 0;
+  for (int c = 0; c < kClients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    total_errors += errors[c];
+  }
+  std::sort(all.begin(), all.end());
+
+  const auto stats = svc.stats();
+  const double total = static_cast<double>(all.size());
+  const double throughput = wall_s > 0 ? total / wall_s : 0.0;
+  const double hit_ratio =
+      stats.requests > 0 ? static_cast<double>(stats.cache_hits) /
+                               static_cast<double>(stats.requests)
+                         : 0.0;
+  const double shed_rate =
+      stats.requests > 0 ? static_cast<double>(stats.shed) /
+                               static_cast<double>(stats.requests)
+                         : 0.0;
+  const double p50 = percentile(all, 0.50);
+  const double p95 = percentile(all, 0.95);
+  const double p99 = percentile(all, 0.99);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"requests", util::fmt("%.0f", total)});
+  table.add_row({"wall s", util::fmt("%.2f", wall_s)});
+  table.add_row({"throughput req/s", util::fmt("%.1f", throughput)});
+  table.add_row({"latency p50 ms", util::fmt("%.2f", p50)});
+  table.add_row({"latency p95 ms", util::fmt("%.2f", p95)});
+  table.add_row({"latency p99 ms", util::fmt("%.2f", p99)});
+  table.add_row({"cache-hit ratio", util::fmt("%.3f", hit_ratio)});
+  table.add_row({"shed rate", util::fmt("%.3f", shed_rate)});
+  table.add_row({"errors", std::to_string(total_errors)});
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::BenchReporter reporter("service_load");
+  reporter.add("requests", total);
+  reporter.add("throughput_rps", throughput);
+  reporter.add("latency_p50_ms", p50);
+  reporter.add("latency_p95_ms", p95);
+  reporter.add("latency_p99_ms", p99);
+  reporter.add("cache_hit_ratio", hit_ratio);
+  reporter.add("shed_rate", shed_rate);
+  reporter.add("errors", total_errors);
+  reporter.note("mix", "4 t5 specs, zipf s=1.2, 4 closed-loop clients");
+
+  // The bars CI can hold: every request answered, and the Zipf-hot mix
+  // must be overwhelmingly cache-served after the first misses.
+  if (total_errors > 0) {
+    std::cerr << "FAIL: " << total_errors << " request errors\n";
+    return 1;
+  }
+  if (hit_ratio < 0.9) {
+    std::cerr << "FAIL: cache-hit ratio " << hit_ratio
+              << " below 0.9 under a 4-spec Zipf mix\n";
+    return 1;
+  }
+  return 0;
+}

@@ -45,6 +45,20 @@
 //           [--fault SPEC]                    install a fault injector,
 //                                             e.g. cache.disk.read=throw:0.5
 //                                             (seed via TAP_FAULT_SEED)
+//           [--serve-url URL[,URL...]]        plan over HTTP instead of
+//                                             in-process: route this
+//                                             request through net::PlanClient
+//                                             to the tap_serve shard owning
+//                                             its PlanKey (one URL per
+//                                             shard id; --explain fetches
+//                                             the server-side report)
+//           [--plan-json FILE|-]              write the canonical plan-
+//                                             response JSON (service/wire.h).
+//                                             Offline it is built in
+//                                             process; with --serve-url it
+//                                             is the verbatim server body —
+//                                             the two are byte-identical,
+//                                             which CI asserts with cmp.
 //
 // With no arguments: plans T5 with 8+8 layers for 2x8 V100s with an
 // automatic mesh sweep and prints the summary.
@@ -68,12 +82,15 @@
 #include "ir/lowering.h"
 #include "models/models.h"
 #include "baselines/expert_plans.h"
+#include "net/plan_client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "report/report.h"
 #include "service/planner_service.h"
+#include "service/wire.h"
 #include "sim/simulator.h"
 #include "util/fault.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace {
@@ -96,6 +113,7 @@ struct Args {
   std::string fault_spec;
   std::string save_plan, load_plan, trace_path, cache_dir;
   std::string profile_path, stats_path, report_path, diff_baseline;
+  std::string serve_url, plan_json_path;
 };
 
 /// Strict base-10 parse: the whole token must be a number (no atoi
@@ -110,10 +128,7 @@ bool parse_i64(const char* s, std::int64_t* out) {
   return true;
 }
 
-bool known_model(const std::string& m) {
-  return m == "t5" || m == "bert" || m == "gpt3" || m == "resnet50" ||
-         m == "resnet152" || m == "moe";
-}
+bool known_model(const std::string& m) { return tap::service::known_model(m); }
 
 bool parse(int argc, char** argv, Args* a) {
   bool missing = false;
@@ -199,6 +214,10 @@ bool parse(int argc, char** argv, Args* a) {
       i64(f, need_value(i), &a->max_checkpoints);
     } else if (!std::strcmp(f, "--fault") && (v = need_value(i))) {
       a->fault_spec = v;
+    } else if (!std::strcmp(f, "--serve-url") && (v = need_value(i))) {
+      a->serve_url = v;
+    } else if (!std::strcmp(f, "--plan-json") && (v = need_value(i))) {
+      a->plan_json_path = v;
     } else if (!missing) {
       std::cerr << "unknown flag: " << f << "\n";
       return false;
@@ -249,35 +268,55 @@ bool write_file(const std::string& path, const std::string& content,
   return true;
 }
 
+/// The wire ModelSpec for these flags: the single source of truth for
+/// "which planning problem is this" shared with the serving tier, so the
+/// CLI and a tap_serve shard land on the same PlanKey by construction.
+tap::service::ModelSpec spec_of(const Args& a) {
+  tap::service::ModelSpec spec;
+  spec.model = a.model;
+  spec.layers = a.layers;
+  spec.classes = a.classes;
+  spec.batch = a.batch;
+  spec.nodes = a.nodes;
+  spec.gpus = a.gpus;
+  spec.deadline_ms = a.deadline_ms;
+  if (a.mesh != "auto") {
+    // parse() validated the DPxTP shape already.
+    std::sscanf(a.mesh.c_str(), "%dx%d", &spec.dp, &spec.tp);
+  }
+  return spec;
+}
+
 tap::Graph build_model(const Args& a) {
-  using namespace tap::models;
-  if (a.model == "t5") {
-    TransformerConfig cfg = t5_with_layers(a.layers);
-    cfg.batch = a.batch;
-    return build_transformer(cfg);
+  return tap::service::build_spec_model(spec_of(a));
+}
+
+std::vector<std::string> split_urls(const std::string& csv) {
+  std::vector<std::string> urls;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) urls.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  if (a.model == "bert") {
-    TransformerConfig cfg = bert_large();
-    cfg.num_layers = a.layers;
-    cfg.batch = a.batch;
-    return build_transformer(cfg);
-  }
-  if (a.model == "gpt3") {
-    TransformerConfig cfg = gpt3();
-    cfg.num_layers = a.layers;
-    return build_transformer(cfg);
-  }
-  if (a.model == "resnet50" || a.model == "resnet152") {
-    ResNetConfig cfg = a.model == "resnet50" ? resnet50(a.classes)
-                                             : resnet152(a.classes);
-    cfg.batch = a.batch;
-    return build_resnet(cfg);
-  }
-  // parse() validated the model name already.
-  MoeConfig cfg = widenet();
-  cfg.num_layers = a.layers;
-  cfg.batch = a.batch;
-  return build_moe_transformer(cfg);
+  return urls;
+}
+
+/// "/explain?model=t5&layers=2&..." for the owning shard.
+std::string explain_target(const tap::service::ModelSpec& spec) {
+  std::string t = "/explain?model=" + spec.model;
+  t += "&layers=" + std::to_string(spec.layers);
+  t += "&classes=" + std::to_string(spec.classes);
+  t += "&batch=" + std::to_string(spec.batch);
+  t += "&nodes=" + std::to_string(spec.nodes);
+  t += "&gpus=" + std::to_string(spec.gpus);
+  if (!spec.sweep())
+    t += "&mesh=" + std::to_string(spec.dp) + "x" + std::to_string(spec.tp);
+  if (spec.deadline_ms > 0)
+    t += "&deadline_ms=" + std::to_string(spec.deadline_ms);
+  return t;
 }
 
 }  // namespace
@@ -327,8 +366,65 @@ int main(int argc, char** argv) {
   opts.deadline_ms = args.deadline_ms;
   opts.max_checkpoints = args.max_checkpoints;
 
+  // --serve-url: plan over HTTP. The CLI builds the same model and
+  // options locally (that is how it knows the PlanKey and how it can
+  // route/simulate the answer), but the search itself runs on the
+  // tap_serve shard that owns the key.
+  std::string served_plan_body;
+  const service::ModelSpec spec = spec_of(args);
+  // The key a tap_serve shard would compute for this spec: built from
+  // options_for_spec (not the CLI's local opts) so fixed-mesh flags land
+  // in the fingerprint exactly the way the server spells them.
+  const service::PlanKey wire_key = service::make_plan_key(
+      tg, service::options_for_spec(spec, args.threads), spec.sweep());
+
   core::TapResult result;
-  if (!args.load_plan.empty()) {
+  if (!args.serve_url.empty()) {
+    if (args.pipeline > 1 || !args.load_plan.empty()) {
+      std::cerr << "--serve-url does not combine with --pipeline or "
+                   "--load-plan\n";
+      return 2;
+    }
+    const service::PlanKey& key = wire_key;
+    try {
+      net::PlanClient client(split_urls(args.serve_url));
+      net::HttpMessage resp =
+          client.post_plan(key, service::model_spec_to_json(spec));
+      if (resp.status != 200) {
+        std::cerr << "server answered " << resp.status << ": " << resp.body
+                  << "\n";
+        return 1;
+      }
+      served_plan_body = resp.body;
+      const util::JsonValue doc = util::JsonValue::parse(resp.body);
+      result.best_plan =
+          core::plan_from_json(tg, doc.at("plan").dump());
+      const std::string source = doc.at("provenance").as_string();
+      result.provenance.source = source == "anytime"
+                                     ? core::PlanSource::kAnytime
+                                 : source == "fallback"
+                                     ? core::PlanSource::kFallback
+                                     : core::PlanSource::kComplete;
+      result.candidate_plans =
+          doc.at("stats").at("candidate_plans").as_int();
+      result.valid_plans = doc.at("stats").at("valid_plans").as_int();
+      std::printf("served: shard %d of %d (%s), key %s\n",
+                  client.shard_for(key), client.num_shards(),
+                  client.url_of(client.shard_for(key)).c_str(),
+                  key.to_hex().c_str());
+    } catch (const std::exception& e) {
+      std::cerr << "serve request failed: " << e.what() << "\n";
+      return 1;
+    }
+    result.routed = sharding::route_plan(tg, result.best_plan);
+    if (!result.routed.valid) {
+      std::cerr << "served plan does not route: " << result.routed.error
+                << "\n";
+      return 1;
+    }
+    result.cost = cost::comm_cost(result.routed, result.best_plan.num_shards,
+                                  opts.cluster);
+  } else if (!args.load_plan.empty()) {
     std::ifstream in(args.load_plan);
     if (!in) {
       std::cerr << "cannot read " << args.load_plan << "\n";
@@ -449,7 +545,32 @@ int main(int argc, char** argv) {
               util::human_bytes(static_cast<double>(step.memory.total()))
                   .c_str());
 
-  if (args.explain) {
+  if (args.explain && !args.serve_url.empty()) {
+    // The report is the server's: same bytes any client would see. The
+    // baseline diff is a local-analysis feature and is not applied here.
+    if (!args.diff_baseline.empty())
+      std::cerr << "--diff-baseline is ignored with --serve-url\n";
+    try {
+      net::PlanClient client(split_urls(args.serve_url));
+      net::HttpMessage resp =
+          client.get(client.shard_for(wire_key), explain_target(spec));
+      if (resp.status != 200) {
+        std::cerr << "explain failed with " << resp.status << ": "
+                  << resp.body << "\n";
+        return 1;
+      }
+      report::PlanReport report = report::from_json(resp.body);
+      std::cout << report::to_text(report);
+      if (!args.report_path.empty()) {
+        if (!write_file(args.report_path, resp.body + "\n", "report"))
+          return 1;
+        std::printf("report written to %s\n", args.report_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "explain request failed: " << e.what() << "\n";
+      return 1;
+    }
+  } else if (args.explain) {
     report::ReportOptions ropts;
     ropts.top_k = args.topk;
     ropts.sim = sopts;
@@ -482,6 +603,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!args.plan_json_path.empty()) {
+    // Canonical plan-response bytes (service/wire.h). In serve mode this
+    // is the verbatim server body; offline it is built in process — the
+    // determinism contract says the two are identical, and the serve-smoke
+    // CI job cmp's them.
+    const std::string bytes =
+        !served_plan_body.empty()
+            ? served_plan_body
+            : service::plan_response_json(tg, wire_key, result);
+    if (args.plan_json_path == "-") {
+      std::cout << bytes << "\n";
+    } else {
+      if (!write_file(args.plan_json_path, bytes, "plan json")) return 1;
+      std::printf("plan response written to %s\n",
+                  args.plan_json_path.c_str());
+    }
+  }
   if (!args.save_plan.empty()) {
     if (!write_file(args.save_plan, core::plan_to_json(tg, result.best_plan),
                     "plan"))

@@ -1,0 +1,424 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace tap::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// RFC 7230 token characters (header names, methods).
+bool is_token_char(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+/// Strict non-negative decimal parse for Content-Length: the whole field
+/// must be digits ("-1", "1e3", "12 " after trimming -> malformed).
+bool parse_content_length(std::string_view s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits a Connection header on commas and reports close/keep-alive
+/// tokens (case-insensitive, OWS-tolerant).
+void scan_connection_tokens(std::string_view value, bool* saw_close,
+                            bool* saw_keep_alive) {
+  while (!value.empty()) {
+    const std::size_t comma = value.find(',');
+    std::string_view tok = trim_ows(value.substr(0, comma));
+    if (iequals(tok, "close")) *saw_close = true;
+    if (iequals(tok, "keep-alive")) *saw_keep_alive = true;
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+  }
+}
+
+}  // namespace
+
+const std::string* HttpMessage::find_header(std::string_view name) const {
+  for (const HttpHeader& h : headers) {
+    if (iequals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(Mode mode, HttpLimits limits)
+    : mode_(mode), limits_(limits) {
+  line_.reserve(256);
+}
+
+int HttpParser::error_status() const {
+  switch (error_) {
+    case HttpParseError::kHeadersTooLarge:
+    case HttpParseError::kBodyTooLarge:
+      return 413;
+    default:
+      return 400;
+  }
+}
+
+void HttpParser::fail(HttpParseError e) {
+  state_ = State::kError;
+  error_ = e;
+}
+
+std::size_t HttpParser::feed(const char* data, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n && state_ != State::kDone && state_ != State::kError) {
+    if (state_ == State::kBody) {
+      const std::uint64_t want = content_length_ - msg_.body.size();
+      const std::size_t take =
+          static_cast<std::size_t>(std::min<std::uint64_t>(want, n - i));
+      msg_.body.append(data + i, take);
+      i += take;
+      absorbed_ += take;
+      if (msg_.body.size() == content_length_) state_ = State::kDone;
+      continue;
+    }
+    const char c = data[i++];
+    ++absorbed_;
+    if (c == '\n') {
+      if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+      process_line();
+      line_.clear();
+      continue;
+    }
+    line_.push_back(c);
+    const std::size_t bound = state_ == State::kStartLine
+                                  ? limits_.max_start_line
+                                  : limits_.max_header_bytes;
+    if (line_.size() > bound) fail(HttpParseError::kHeadersTooLarge);
+  }
+  return i;
+}
+
+void HttpParser::process_line() {
+  if (state_ == State::kStartLine) {
+    // Tolerate blank line(s) before the start line (RFC 7230 §3.5).
+    if (line_.empty() && absorbed_ <= 2) {
+      absorbed_ = 0;
+      return;
+    }
+    parse_start_line();
+    return;
+  }
+  // State::kHeaders.
+  if (line_.empty()) {
+    end_of_headers();
+    return;
+  }
+  parse_header_line();
+}
+
+void HttpParser::parse_start_line() {
+  const std::string_view line = line_;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return fail(HttpParseError::kBadMessage);
+  }
+  const std::string_view a = line.substr(0, sp1);
+  const std::string_view b = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view c = line.substr(sp2 + 1);
+
+  auto parse_version = [this](std::string_view v) {
+    if (v == "HTTP/1.1") {
+      msg_.version_minor = 1;
+    } else if (v == "HTTP/1.0") {
+      msg_.version_minor = 0;
+    } else {
+      fail(HttpParseError::kBadMessage);
+    }
+  };
+
+  if (mode_ == Mode::kRequest) {
+    if (!is_token(a) || b.empty() || b.find(' ') != std::string_view::npos ||
+        (b[0] != '/' && b != "*")) {
+      return fail(HttpParseError::kBadMessage);
+    }
+    msg_.method.assign(a);
+    msg_.target.assign(b);
+    parse_version(c);
+  } else {
+    parse_version(a);
+    if (failed()) return;
+    if (b.size() != 3 || !std::all_of(b.begin(), b.end(), [](char d) {
+          return d >= '0' && d <= '9';
+        })) {
+      return fail(HttpParseError::kBadMessage);
+    }
+    msg_.status = (b[0] - '0') * 100 + (b[1] - '0') * 10 + (b[2] - '0');
+    msg_.reason.assign(c);
+  }
+  if (!failed()) {
+    msg_.keep_alive = msg_.version_minor >= 1;
+    state_ = State::kHeaders;
+  }
+}
+
+void HttpParser::parse_header_line() {
+  header_bytes_ += line_.size();
+  if (header_bytes_ > limits_.max_header_bytes ||
+      msg_.headers.size() >= limits_.max_headers) {
+    return fail(HttpParseError::kHeadersTooLarge);
+  }
+  const std::string_view line = line_;
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return fail(HttpParseError::kBadMessage);
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!is_token(name)) return fail(HttpParseError::kBadMessage);
+  const std::string_view value = trim_ows(line.substr(colon + 1));
+
+  if (iequals(name, "content-length")) {
+    std::uint64_t v = 0;
+    if (!parse_content_length(value, &v)) {
+      return fail(HttpParseError::kBadMessage);
+    }
+    if (have_content_length_ && v != content_length_) {
+      return fail(HttpParseError::kBadMessage);
+    }
+    have_content_length_ = true;
+    content_length_ = v;
+  } else if (iequals(name, "transfer-encoding")) {
+    // The plan protocol never chunks; a peer that tries is malformed.
+    return fail(HttpParseError::kBadMessage);
+  } else if (iequals(name, "connection")) {
+    bool saw_close = false, saw_keep_alive = false;
+    scan_connection_tokens(value, &saw_close, &saw_keep_alive);
+    if (saw_close) msg_.keep_alive = false;
+    if (saw_keep_alive && msg_.version_minor == 0) msg_.keep_alive = true;
+  }
+  msg_.headers.push_back({std::string(name), std::string(value)});
+}
+
+void HttpParser::end_of_headers() {
+  if (have_content_length_) {
+    if (content_length_ > limits_.max_body_bytes) {
+      return fail(HttpParseError::kBodyTooLarge);
+    }
+    if (content_length_ == 0) {
+      state_ = State::kDone;
+      return;
+    }
+    msg_.body.reserve(static_cast<std::size_t>(content_length_));
+    state_ = State::kBody;
+    return;
+  }
+  if (mode_ == Mode::kRequest) {
+    // A request that carries a body must frame it; methods that never do
+    // are complete here. (411 Length Required collapses into 400 — the
+    // serving tier's malformed-input answer.)
+    if (msg_.method == "POST" || msg_.method == "PUT" ||
+        msg_.method == "PATCH") {
+      return fail(HttpParseError::kBadMessage);
+    }
+    state_ = State::kDone;
+    return;
+  }
+  // Response without Content-Length: body runs until EOF (finish_eof).
+  content_length_ = limits_.max_body_bytes;
+  state_ = State::kBody;
+}
+
+void HttpParser::finish_eof() {
+  if (mode_ == Mode::kResponse && state_ == State::kBody &&
+      !have_content_length_) {
+    state_ = State::kDone;
+    return;
+  }
+  if (!done()) fail(HttpParseError::kBadMessage);
+}
+
+void HttpParser::reset() {
+  state_ = State::kStartLine;
+  error_ = HttpParseError::kNone;
+  header_bytes_ = 0;
+  absorbed_ = 0;
+  have_content_length_ = false;
+  content_length_ = 0;
+  line_.clear();
+  msg_.method.clear();
+  msg_.target.clear();
+  msg_.status = 0;
+  msg_.reason.clear();
+  msg_.version_minor = 1;
+  msg_.headers.clear();
+  msg_.body.clear();
+  msg_.keep_alive = true;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization + target helpers
+// ---------------------------------------------------------------------------
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 421: return "Misdirected Request";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+std::string serialize_request(const HttpMessage& req,
+                              const std::string& host) {
+  std::string out;
+  out.reserve(256 + req.body.size());
+  out += req.method;
+  out += ' ';
+  out += req.target;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host;
+  out += "\r\n";
+  for (const HttpHeader& h : req.headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  if (!req.body.empty()) out += "Content-Type: application/json\r\n";
+  out += "Content-Length: ";
+  out += std::to_string(req.body.size());
+  out += "\r\nConnection: ";
+  out += req.keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += req.body;
+  return out;
+}
+
+std::string serialize_response(const HttpMessage& resp) {
+  std::string out;
+  out.reserve(128 + resp.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += resp.reason.empty() ? status_reason(resp.status)
+                             : resp.reason.c_str();
+  out += "\r\n";
+  for (const HttpHeader& h : resp.headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(resp.body.size());
+  out += "\r\nConnection: ";
+  out += resp.keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+HttpMessage make_response(int status, std::string content_type,
+                          std::string body) {
+  HttpMessage resp;
+  resp.status = status;
+  resp.reason = status_reason(status);
+  resp.headers.push_back({"Content-Type", std::move(content_type)});
+  resp.body = std::move(body);
+  resp.keep_alive = true;
+  return resp;
+}
+
+std::string_view target_path(std::string_view target) {
+  const std::size_t q = target.find('?');
+  return q == std::string_view::npos ? target : target.substr(0, q);
+}
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]), lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+}  // namespace
+
+std::string query_param(std::string_view target, std::string_view key) {
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) return "";
+  std::string_view rest = target.substr(q + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair = rest.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      return eq == std::string_view::npos
+                 ? std::string()
+                 : percent_decode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return "";
+}
+
+}  // namespace tap::net

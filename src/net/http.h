@@ -1,0 +1,166 @@
+// tap::net — the dependency-free HTTP/1.1 message layer under the
+// plan-serving tier (ISSUE 7).
+//
+// HttpParser is an incremental push parser in the callback-driven
+// http-parser style: callers feed() raw bytes as they arrive off a socket
+// and the parser consumes exactly up to the end of one message, so
+// pipelined keep-alive requests in a single read are handled by feeding
+// the leftover bytes to the reset parser. The parse loop allocates
+// nothing in steady state — the line buffer and body string are reused
+// across messages on the same connection (reset() clears without
+// releasing capacity) — and every dimension of the input is bounded
+// (start line, cumulative header bytes, header count, body bytes), so a
+// hostile peer can neither balloon memory nor wedge the state machine:
+// malformed input lands in a terminal error state with a deterministic
+// 400/413 answer.
+//
+// Scope (deliberately): HTTP/1.0 and 1.1, Content-Length bodies only
+// (Transfer-Encoding is rejected as malformed — the plan protocol never
+// chunks), no multiline header folding. This covers every client the
+// serving tier speaks to (net::PlanClient, curl, load generators).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tap::net {
+
+/// Hard input bounds enforced during parsing (never after the fact).
+struct HttpLimits {
+  std::size_t max_start_line = 8 * 1024;
+  /// Cumulative bytes across all header lines of one message.
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_headers = 100;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+enum class HttpParseError : std::uint8_t {
+  kNone = 0,
+  kBadMessage,      ///< malformed syntax -> 400
+  kHeadersTooLarge, ///< start line / header bounds exceeded -> 413
+  kBodyTooLarge,    ///< Content-Length beyond max_body_bytes -> 413
+};
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// One parsed request OR response (the unused half stays defaulted).
+struct HttpMessage {
+  // Request fields.
+  std::string method;
+  std::string target;
+  // Response fields.
+  int status = 0;
+  std::string reason;
+
+  int version_minor = 1;  ///< HTTP/1.<minor>
+  std::vector<HttpHeader> headers;
+  std::string body;
+  /// Effective persistence after Connection/version rules: 1.1 defaults
+  /// on, 1.0 defaults off, "Connection: close|keep-alive" overrides.
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* find_header(std::string_view name) const;
+};
+
+class HttpParser {
+ public:
+  enum class Mode : std::uint8_t { kRequest, kResponse };
+
+  explicit HttpParser(Mode mode, HttpLimits limits = {});
+
+  /// Consumes bytes from `data` and returns how many were taken. Stops
+  /// consuming at the end of one complete message (done()) or at the
+  /// first error (failed()) — never reads past a message boundary, which
+  /// is what makes pipelining safe.
+  std::size_t feed(const char* data, std::size_t n);
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+  /// True while a message is mid-parse (a disconnect here is a truncated
+  /// message, not a clean close).
+  bool in_progress() const {
+    return !done() && !failed() && absorbed_ > 0;
+  }
+
+  HttpParseError error() const { return error_; }
+  /// Deterministic status for a failed parse: 413 for exceeded bounds,
+  /// 400 for everything malformed.
+  int error_status() const;
+
+  /// The parsed message (valid once done()).
+  HttpMessage& message() { return msg_; }
+
+  /// Response mode only: the peer closed the connection. A response
+  /// without Content-Length is terminated by EOF; a truncated
+  /// Content-Length body becomes kBadMessage.
+  void finish_eof();
+
+  /// Ready for the next message on the same connection; internal buffers
+  /// keep their capacity so steady-state keep-alive parsing allocates
+  /// nothing.
+  void reset();
+
+ private:
+  enum class State : std::uint8_t {
+    kStartLine,
+    kHeaders,
+    kBody,
+    kDone,
+    kError,
+  };
+
+  void fail(HttpParseError e);
+  void process_line();
+  void parse_start_line();
+  void parse_header_line();
+  void end_of_headers();
+
+  Mode mode_;
+  HttpLimits limits_;
+  State state_ = State::kStartLine;
+  HttpParseError error_ = HttpParseError::kNone;
+  HttpMessage msg_;
+  std::string line_;            ///< current start/header line, reused
+  std::size_t header_bytes_ = 0;
+  std::size_t absorbed_ = 0;    ///< bytes consumed into the current message
+  bool have_content_length_ = false;
+  std::uint64_t content_length_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization + small target helpers
+// ---------------------------------------------------------------------------
+
+/// Standard reason phrase for the statuses the serving tier emits
+/// (unknown codes get "Unknown").
+const char* status_reason(int status);
+
+/// Wire bytes of a request: start line, Host/Content-Type/Content-Length/
+/// Connection headers, any extra headers, then the body.
+std::string serialize_request(const HttpMessage& req,
+                              const std::string& host);
+
+/// Wire bytes of a response. Content-Length is always emitted (also for
+/// empty bodies) so keep-alive framing is unambiguous.
+std::string serialize_response(const HttpMessage& resp);
+
+/// Response with status/type/body and keep_alive defaulted on (the server
+/// ANDs it with the request's and its own drain state before sending).
+HttpMessage make_response(int status, std::string content_type,
+                          std::string body);
+
+/// Path portion of a request target ("/plan?x=1" -> "/plan").
+std::string_view target_path(std::string_view target);
+
+/// Percent-decoded value of `key` in the target's query string, or ""
+/// when absent ("/e?model=t5&layers=2", "layers" -> "2").
+std::string query_param(std::string_view target, std::string_view key);
+
+}  // namespace tap::net

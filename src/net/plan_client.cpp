@@ -1,0 +1,194 @@
+#include "net/plan_client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace tap::net {
+
+namespace {
+
+obs::Counter* retry_counter() {
+  static obs::Counter* c = obs::registry().counter("net.client.retries");
+  return c;
+}
+
+timeval timeval_of_ms(double ms) {
+  if (ms <= 0) ms = 1.0;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  return tv;
+}
+
+}  // namespace
+
+Endpoint parse_url(const std::string& url) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    throw HttpClientError("unsupported URL (want http://host:port): " + url);
+  }
+  std::string rest = url.substr(scheme.size());
+  const std::size_t slash = rest.find('/');
+  if (slash != std::string::npos) rest = rest.substr(0, slash);
+  Endpoint ep;
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    ep.host = rest;
+  } else {
+    ep.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long p = std::strtol(port.c_str(), &end, 10);
+    if (port.empty() || *end != '\0' || p < 1 || p > 65535) {
+      throw HttpClientError("bad port in URL: " + url);
+    }
+    ep.port = static_cast<int>(p);
+  }
+  if (ep.host.empty()) throw HttpClientError("empty host in URL: " + url);
+  return ep;
+}
+
+HttpConnection::HttpConnection(Endpoint ep, ClientOptions opts)
+    : ep_(std::move(ep)), opts_(opts) {}
+
+HttpConnection::~HttpConnection() { close_fd(); }
+
+void HttpConnection::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpConnection::ensure_connected() {
+  if (fd_ >= 0) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(ep_.port);
+  if (::getaddrinfo(ep_.host.c_str(), port.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return false;
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
+                    res->ai_protocol);
+  bool ok = fd >= 0;
+  if (ok) {
+    const timeval tv = timeval_of_ms(opts_.timeout_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ok = ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+  }
+  ::freeaddrinfo(res);
+  if (!ok) {
+    if (fd >= 0) ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool HttpConnection::try_request(const HttpMessage& req, HttpMessage* out) {
+  if (!ensure_connected()) return false;
+  const std::string host = ep_.host + ":" + std::to_string(ep_.port);
+  const std::string bytes = serialize_request(req, host);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  HttpParser parser(HttpParser::Mode::kResponse, opts_.limits);
+  char buf[16 * 1024];
+  while (!parser.done()) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // timeout or reset
+    }
+    if (n == 0) {
+      parser.finish_eof();
+      break;
+    }
+    std::size_t used = 0;
+    while (used < static_cast<std::size_t>(n) && !parser.done() &&
+           !parser.failed()) {
+      used += parser.feed(buf + used, static_cast<std::size_t>(n) - used);
+    }
+    if (parser.failed()) return false;
+  }
+  if (!parser.done()) return false;
+  *out = std::move(parser.message());
+  if (!out->keep_alive) close_fd();
+  return true;
+}
+
+HttpMessage HttpConnection::request(const HttpMessage& req) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int attempts = opts_.retries < 1 ? 1 : opts_.retries;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    HttpMessage resp;
+    if (try_request(req, &resp)) return resp;
+    close_fd();
+    if (attempt == attempts) break;
+    retry_counter()->add();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        attempt * opts_.backoff_ms));
+  }
+  throw HttpClientError("request to " + ep_.host + ":" +
+                        std::to_string(ep_.port) + " failed after " +
+                        std::to_string(attempts) + " attempts");
+}
+
+PlanClient::PlanClient(std::vector<std::string> shard_urls,
+                       ClientOptions opts)
+    : urls_(std::move(shard_urls)),
+      scheme_(static_cast<int>(urls_.size()), opts.scheme) {
+  TAP_CHECK(!urls_.empty()) << "PlanClient needs at least one shard URL";
+  conns_.reserve(urls_.size());
+  for (const std::string& url : urls_) {
+    conns_.push_back(std::make_unique<HttpConnection>(parse_url(url), opts));
+  }
+}
+
+HttpMessage PlanClient::send(int shard, const HttpMessage& req) {
+  TAP_CHECK(shard >= 0 && shard < num_shards())
+      << "shard " << shard << " out of range";
+  return conns_[static_cast<std::size_t>(shard)]->request(req);
+}
+
+HttpMessage PlanClient::post_plan(const service::PlanKey& key,
+                                  const std::string& body) {
+  HttpMessage req;
+  req.method = "POST";
+  req.target = "/plan";
+  req.body = body;
+  return send(scheme_.shard_for(key), req);
+}
+
+HttpMessage PlanClient::get(int shard, const std::string& target) {
+  HttpMessage req;
+  req.method = "GET";
+  req.target = target;
+  return send(shard, req);
+}
+
+}  // namespace tap::net

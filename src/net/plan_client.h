@@ -1,0 +1,110 @@
+// net::PlanClient — the thin client/router in front of a fleet of
+// tap_serve shards (ISSUE 7).
+//
+// The router holds one base URL per shard id and the same ShardScheme the
+// shards run, so it computes the owning shard of a PlanKey locally and
+// sends the request straight there — no proxy hop, no coordination. Each
+// shard gets one persistent keep-alive connection (HttpConnection) that
+// transparently reconnects and retries with linear backoff on connection
+// failure; only after `retries` attempts does the typed HttpClientError
+// surface. Because plans are deterministic functions of the key, a retry
+// (even one that lands after a shard restart) can never observe a
+// different answer — at-least-once delivery is safe by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/shard_scheme.h"
+
+namespace tap::net {
+
+/// Connection/request failure after all retry attempts.
+class HttpClientError : public std::runtime_error {
+ public:
+  explicit HttpClientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ClientOptions {
+  /// Total attempts per request (connect + send + receive).
+  int retries = 3;
+  /// Sleep before attempt k (1-based) is k * backoff_ms.
+  double backoff_ms = 50.0;
+  /// Socket send/receive timeout per attempt.
+  double timeout_ms = 30000.0;
+  HttpLimits limits;
+  ShardSchemeOptions scheme;
+};
+
+struct Endpoint {
+  std::string host;
+  int port = 80;
+};
+
+/// Parses "http://host:port[/...]"; throws HttpClientError on anything
+/// else (the serving tier is plain HTTP).
+Endpoint parse_url(const std::string& url);
+
+/// One persistent keep-alive connection to an endpoint. request() is
+/// thread-safe (serialized per connection), lazily connects, and on any
+/// I/O failure closes, backs off linearly, reconnects, and retries.
+class HttpConnection {
+ public:
+  HttpConnection(Endpoint ep, ClientOptions opts);
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Sends `req` and returns the parsed response. Throws HttpClientError
+  /// after `retries` failed attempts.
+  HttpMessage request(const HttpMessage& req);
+
+  const Endpoint& endpoint() const { return ep_; }
+
+ private:
+  bool ensure_connected();
+  void close_fd();
+  bool try_request(const HttpMessage& req, HttpMessage* out);
+
+  Endpoint ep_;
+  ClientOptions opts_;
+  std::mutex mu_;
+  int fd_ = -1;
+};
+
+class PlanClient {
+ public:
+  /// `shard_urls[i]` is the base URL of shard id i; the scheme is built
+  /// over shard_urls.size() shards and must match the servers'.
+  explicit PlanClient(std::vector<std::string> shard_urls,
+                      ClientOptions opts = {});
+
+  int num_shards() const { return scheme_.num_shards(); }
+  int shard_for(const service::PlanKey& key) const {
+    return scheme_.shard_for(key);
+  }
+  const std::string& url_of(int shard) const { return urls_.at(shard); }
+
+  /// POST /plan routed to the shard owning `key`; `body` is the canonical
+  /// ModelSpec JSON (service/wire.h).
+  HttpMessage post_plan(const service::PlanKey& key, const std::string& body);
+
+  /// GET `target` from a specific shard (metrics, healthz, explain).
+  HttpMessage get(int shard, const std::string& target);
+
+ private:
+  HttpMessage send(int shard, const HttpMessage& req);
+
+  std::vector<std::string> urls_;
+  ShardScheme scheme_;
+  std::vector<std::unique_ptr<HttpConnection>> conns_;
+};
+
+}  // namespace tap::net

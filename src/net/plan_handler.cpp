@@ -1,0 +1,167 @@
+#include "net/plan_handler.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/report.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace tap::net {
+
+namespace {
+
+struct HandlerMetrics {
+  obs::Counter* plan_requests;
+  obs::Counter* explain_requests;
+  obs::Counter* bad_requests;
+  obs::Counter* misrouted;
+  obs::Counter* overloaded;
+};
+
+HandlerMetrics& metrics() {
+  static HandlerMetrics m{
+      obs::registry().counter("net.plan.requests"),
+      obs::registry().counter("net.plan.explain_requests"),
+      obs::registry().counter("net.plan.bad_requests"),
+      obs::registry().counter("net.plan.misrouted"),
+      obs::registry().counter("net.plan.overloaded"),
+  };
+  return m;
+}
+
+HttpMessage error_response(int status, const std::string& message) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("error", util::JsonValue::string(message));
+  return make_response(status, "application/json", doc.dump());
+}
+
+}  // namespace
+
+PlanHandler::PlanHandler(service::PlannerService* svc,
+                         PlanHandlerOptions opts)
+    : svc_(svc), opts_(opts), scheme_(opts.num_shards, opts.scheme) {
+  TAP_CHECK(svc_ != nullptr) << "PlanHandler needs a PlannerService";
+  TAP_CHECK(opts_.shard_id >= 0 && opts_.shard_id < opts_.num_shards)
+      << "shard id " << opts_.shard_id << " out of range for "
+      << opts_.num_shards << " shards";
+}
+
+HttpMessage PlanHandler::handle(const HttpMessage& req) {
+  const std::string_view path = target_path(req.target);
+  if (path == "/plan") {
+    if (req.method != "POST") return error_response(405, "POST /plan");
+    return handle_plan(req);
+  }
+  if (path == "/explain") {
+    if (req.method != "GET") return error_response(405, "GET /explain");
+    return handle_explain(req);
+  }
+  if (path == "/metrics") {
+    if (req.method != "GET") return error_response(405, "GET /metrics");
+    return make_response(200, "text/plain; version=0.0.4",
+                         obs::dump_prometheus());
+  }
+  if (path == "/healthz") {
+    if (req.method != "GET") return error_response(405, "GET /healthz");
+    return handle_healthz();
+  }
+  return error_response(404, "no such endpoint");
+}
+
+HttpMessage PlanHandler::handle_healthz() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("status", util::JsonValue::string("ok"));
+  doc.set("shard", util::JsonValue::number(opts_.shard_id));
+  doc.set("shards", util::JsonValue::number(opts_.num_shards));
+  return make_response(200, "application/json", doc.dump());
+}
+
+const PlanHandler::CachedModel* PlanHandler::model_for(
+    const service::ModelSpec& spec) {
+  // Only the architecture fields shape the graph; mesh/cluster/deadline
+  // variants of the same model share one build.
+  const std::string key = spec.model + "/" + std::to_string(spec.layers) +
+                          "/" + std::to_string(spec.classes) + "/" +
+                          std::to_string(spec.batch);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    TAP_SPAN("net.build_model", "net");
+    it = models_.emplace(key,
+                         std::make_unique<CachedModel>(
+                             service::build_spec_model(spec)))
+             .first;
+  }
+  return it->second.get();
+}
+
+HttpMessage PlanHandler::handle_plan(const HttpMessage& req) {
+  TAP_SPAN("net.plan", "net");
+  metrics().plan_requests->add();
+  service::ModelSpec spec;
+  try {
+    spec = service::model_spec_from_json(req.body);
+  } catch (const std::exception& e) {
+    metrics().bad_requests->add();
+    return error_response(400, e.what());
+  }
+  const CachedModel* model = model_for(spec);
+  service::PlanRequest plan_req{
+      &model->tg, service::options_for_spec(spec, opts_.search_threads),
+      spec.sweep()};
+  const service::PlanKey key = svc_->key_for(plan_req);
+  const int owner = scheme_.shard_for(key);
+  if (owner != opts_.shard_id) {
+    metrics().misrouted->add();
+    util::JsonValue doc = util::JsonValue::object();
+    doc.set("error", util::JsonValue::string("misrouted"));
+    doc.set("shard", util::JsonValue::number(owner));
+    return make_response(421, "application/json", doc.dump());
+  }
+  try {
+    // plan() owns degradation: a tripped deadline degrades to
+    // anytime/fallback instead of throwing. Only load shedding escapes.
+    const core::TapResult result = svc_->plan(plan_req);
+    return make_response(
+        200, "application/json",
+        service::plan_response_json(model->tg, key, result));
+  } catch (const service::OverloadedError& e) {
+    metrics().overloaded->add();
+    return error_response(503, e.what());
+  }
+}
+
+HttpMessage PlanHandler::handle_explain(const HttpMessage& req) {
+  metrics().explain_requests->add();
+  service::ModelSpec spec;
+  try {
+    spec = service::model_spec_from_query(req.target);
+  } catch (const std::exception& e) {
+    metrics().bad_requests->add();
+    return error_response(400, e.what());
+  }
+  const CachedModel* model = model_for(spec);
+  service::PlanRequest plan_req{
+      &model->tg, service::options_for_spec(spec, opts_.search_threads),
+      spec.sweep()};
+  const service::PlanKey key = svc_->key_for(plan_req);
+  const int owner = scheme_.shard_for(key);
+  if (owner != opts_.shard_id) {
+    metrics().misrouted->add();
+    util::JsonValue doc = util::JsonValue::object();
+    doc.set("error", util::JsonValue::string("misrouted"));
+    doc.set("shard", util::JsonValue::number(owner));
+    return make_response(421, "application/json", doc.dump());
+  }
+  try {
+    std::shared_ptr<const report::PlanReport> rep = svc_->explain(plan_req);
+    return make_response(200, "application/json", report::to_json(*rep));
+  } catch (const service::OverloadedError& e) {
+    metrics().overloaded->add();
+    return error_response(503, e.what());
+  }
+}
+
+}  // namespace tap::net

@@ -1,0 +1,79 @@
+// net::PlanHandler — the HTTP face of one PlannerService shard (ISSUE 7).
+//
+// Routes:
+//   POST /plan     ModelSpec JSON -> canonical plan-response JSON
+//                  (service/wire.h). 400 on malformed/unknown specs,
+//                  413 via the parser limits, 421 when the consistent-hash
+//                  scheme says another shard owns the key, 503 when the
+//                  service sheds load.
+//   GET /explain   ModelSpec as query params -> cached PlanReport JSON.
+//   GET /metrics   Prometheus text (obs::dump_prometheus) — every
+//                  request/latency/shed counter of the tier.
+//   GET /healthz   {"status":"ok","shard":k,"shards":N}.
+//
+// The handler owns a model cache: each distinct architecture is built and
+// lowered once and kept alive for the process lifetime (PlanRequest
+// borrows the graph), so repeat requests pay only the PlannerService
+// cache lookup. Placement is enforced on BOTH sides: the PlanClient
+// routes to the owning shard, and the shard rejects misrouted keys with
+// 421 naming the owner — a deterministic guard, not a redirect loop.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "graph/graph.h"
+#include "ir/lowering.h"
+#include "net/http.h"
+#include "net/shard_scheme.h"
+#include "service/planner_service.h"
+#include "service/wire.h"
+
+namespace tap::net {
+
+struct PlanHandlerOptions {
+  /// Shard layout this process serves; (1, 0) = unsharded.
+  int num_shards = 1;
+  int shard_id = 0;
+  ShardSchemeOptions scheme;
+  /// Planner search threads per request (bit-identity-neutral).
+  int search_threads = 1;
+};
+
+class PlanHandler {
+ public:
+  /// `svc` is borrowed and must outlive the handler.
+  PlanHandler(service::PlannerService* svc, PlanHandlerOptions opts = {});
+
+  /// The HttpServer::Handler entry point (thread-safe).
+  HttpMessage handle(const HttpMessage& req);
+
+  const ShardScheme& scheme() const { return scheme_; }
+
+ private:
+  struct CachedModel {
+    Graph graph;
+    ir::TapGraph tg;  ///< references `graph`; lowered after it settles
+
+    explicit CachedModel(Graph g)
+        : graph(std::move(g)), tg(ir::lower(graph)) {}
+  };
+
+  HttpMessage handle_plan(const HttpMessage& req);
+  HttpMessage handle_explain(const HttpMessage& req);
+  HttpMessage handle_healthz() const;
+  /// Builds (once) and returns the lowered model for `spec`; keyed by the
+  /// architecture fields only (mesh/cluster do not change the graph).
+  const CachedModel* model_for(const service::ModelSpec& spec);
+
+  service::PlannerService* svc_;
+  PlanHandlerOptions opts_;
+  ShardScheme scheme_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CachedModel>> models_;
+};
+
+}  // namespace tap::net

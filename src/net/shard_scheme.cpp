@@ -1,0 +1,43 @@
+#include "net/shard_scheme.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace tap::net {
+
+ShardScheme::ShardScheme(int num_shards, ShardSchemeOptions opts)
+    : num_shards_(num_shards) {
+  TAP_CHECK(num_shards >= 1) << "ShardScheme needs at least one shard";
+  TAP_CHECK(opts.vnodes >= 1) << "ShardScheme needs at least one vnode";
+  ring_.reserve(static_cast<std::size_t>(num_shards) *
+                static_cast<std::size_t>(opts.vnodes));
+  for (int s = 0; s < num_shards; ++s) {
+    // Points depend on the shard's own id only (never on num_shards), so
+    // adding shard N+1 leaves shards 0..N's points exactly where they
+    // were — the consistent-hashing minimal-movement property.
+    const std::uint64_t shard_seed =
+        util::splitmix64(opts.seed ^ util::splitmix64(
+                                         static_cast<std::uint64_t>(s)));
+    for (int v = 0; v < opts.vnodes; ++v) {
+      const std::uint64_t h = util::splitmix64(
+          shard_seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(v));
+      ring_.push_back({h, s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+int ShardScheme::shard_for_digest(std::uint64_t digest) const {
+  // First point clockwise at-or-after the digest, wrapping to the ring's
+  // first point past the top.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), digest,
+      [](const Point& p, std::uint64_t d) { return p.hash < d; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+}  // namespace tap::net

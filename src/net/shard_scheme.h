@@ -1,0 +1,65 @@
+// Consistent-hash placement of PlanKeys onto service shards (ISSUE 7,
+// after the DistDataStore ShardScheme in SNIPPETS.md #2).
+//
+// The keyspace is the 64-bit digest of service::PlanKey. Each shard owns
+// `vnodes` pseudo-random points on a ring; a key belongs to the shard
+// owning the first point at or clockwise-after the key's digest. Two
+// properties the serving tier builds on:
+//
+//   * deterministic placement — the ring is a pure function of
+//     (num_shards, vnodes, seed), so every process that agrees on the
+//     scheme (the router, every shard's misroute guard, the tests) maps
+//     every key to the SAME single shard, with no coordination;
+//   * minimal movement — a shard's points are hashed from its own id
+//     only, so growing N -> N+1 moves only the keys the new shard's
+//     points capture (~1/(N+1) of the keyspace), never reshuffling the
+//     rest. That keeps warm plan caches warm across re-sharding.
+//
+// Which shard answers never changes WHAT is answered: plans are
+// deterministic functions of the key, so placement is purely a cache- and
+// load-partitioning concern (the byte-identity tests pin this down).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/fingerprint.h"
+
+namespace tap::net {
+
+struct ShardSchemeOptions {
+  /// Ring points per shard. More points smooth the per-shard share of the
+  /// keyspace (64 keeps the max/min share within ~2x).
+  int vnodes = 64;
+  /// Ring salt: routers and shards must agree on it (it is part of the
+  /// scheme identity, like num_shards).
+  std::uint64_t seed = 0x7461702d72696e67ull;  // "tap-ring"
+};
+
+class ShardScheme {
+ public:
+  explicit ShardScheme(int num_shards, ShardSchemeOptions opts = {});
+
+  int num_shards() const { return num_shards_; }
+  std::size_t num_points() const { return ring_.size(); }
+
+  /// Owning shard of a raw 64-bit key digest, in [0, num_shards).
+  int shard_for_digest(std::uint64_t digest) const;
+
+  /// Owning shard of a plan key.
+  int shard_for(const service::PlanKey& key) const {
+    return shard_for_digest(key.digest());
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int shard;
+  };
+
+  int num_shards_;
+  /// Sorted by (hash, shard) — the tie order is part of determinism.
+  std::vector<Point> ring_;
+};
+
+}  // namespace tap::net
