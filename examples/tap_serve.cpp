@@ -13,6 +13,10 @@
 //             [--conn-threads N]               HTTP connection workers
 //             [--max-pending N]                load-shed bound (0 = off)
 //             [--drain-ms MS]                  SIGTERM drain budget
+//             [--incremental on|off]           graph-delta warm starts for
+//                                              cache-missing searches
+//                                              (default on; bit-identical
+//                                              results either way)
 //
 // Endpoints: POST /plan, GET /explain, GET /metrics, GET /healthz
 // (net/plan_handler.h). On SIGTERM/SIGINT the server drains gracefully —
@@ -50,6 +54,7 @@ struct Args {
   int conn_threads = 8;
   std::int64_t max_pending = 0;
   std::int64_t drain_ms = 5000;
+  bool incremental = true;
 };
 
 bool parse_int(const char* s, std::int64_t* out) {
@@ -105,6 +110,17 @@ bool parse(int argc, char** argv, Args* a) {
       if (!as_int(&a->max_pending)) return false;
     } else if (!std::strcmp(f, "--drain-ms")) {
       if (!as_int(&a->drain_ms)) return false;
+    } else if (!std::strcmp(f, "--incremental")) {
+      const char* v = value();
+      if (v != nullptr && !std::strcmp(v, "on")) {
+        a->incremental = true;
+      } else if (v != nullptr && !std::strcmp(v, "off")) {
+        a->incremental = false;
+      } else {
+        std::cerr << "bad or missing value for --incremental (want on | "
+                     "off)\n";
+        return false;
+      }
     } else {
       std::cerr << "unknown flag: " << f << "\n";
       return false;
@@ -132,6 +148,7 @@ int main(int argc, char** argv) {
   sopts.cache.disk_dir = args.cache_dir;
   sopts.request_threads = args.request_threads;
   sopts.max_pending = static_cast<std::size_t>(args.max_pending);
+  sopts.incremental = args.incremental;
   service::PlannerService svc(sopts);
 
   net::PlanHandlerOptions hopts;
@@ -174,11 +191,13 @@ int main(int argc, char** argv) {
 
   const auto ss = svc.stats();
   std::printf("tap_serve: served %llu requests (%llu plans, %llu cache "
-              "hits, %llu coalesced, %llu shed); exiting 0\n",
+              "hits, %llu coalesced, %llu incremental, %llu shed); "
+              "exiting 0\n",
               static_cast<unsigned long long>(server.requests_served()),
               static_cast<unsigned long long>(ss.requests),
               static_cast<unsigned long long>(ss.cache_hits),
               static_cast<unsigned long long>(ss.coalesced),
+              static_cast<unsigned long long>(ss.incremental_hits),
               static_cast<unsigned long long>(ss.shed));
   return 0;
 }

@@ -1,0 +1,38 @@
+#include "service/graph_delta.h"
+
+namespace tap::service {
+
+GraphDelta diff_sketches(const GraphSketch& request,
+                         const GraphSketch& donor) {
+  GraphDelta d;
+  std::size_t i = 0, j = 0;
+  const auto& a = request.families;
+  const auto& b = donor.families;
+  auto less = [](const Fingerprint& x, const Fingerprint& y) {
+    if (x.hi != y.hi) return x.hi < y.hi;
+    return x.lo < y.lo;
+  };
+  while (i < a.size() && j < b.size()) {
+    if (a[i].fp == b[j].fp) {
+      if (a[i].weighted && b[j].weighted) ++d.shared;
+      // A weighted/unweighted mismatch is impossible for equal
+      // fingerprints (weightedness is structural), but counting it as
+      // neither shared nor changed is the safe degradation.
+      ++i;
+      ++j;
+    } else if (less(a[i].fp, b[j].fp)) {
+      if (a[i].weighted) ++d.changed;
+      ++i;
+    } else {
+      if (b[j].weighted) ++d.removed;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i)
+    if (a[i].weighted) ++d.changed;
+  for (; j < b.size(); ++j)
+    if (b[j].weighted) ++d.removed;
+  return d;
+}
+
+}  // namespace tap::service

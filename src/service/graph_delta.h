@@ -1,0 +1,54 @@
+// GraphDelta — the diff that powers incremental replanning (ISSUE 8).
+//
+// At fleet scale most plan requests are *near*-duplicates of something
+// already planned: a fine-tune variant, a resized vocab, one extra block.
+// The exact PlanKey misses, but almost every family sub-fingerprint of
+// the request matches the cached donor — and equal family fingerprints
+// under equal option fingerprints imply identical FamilySearchOutcomes
+// (service/fingerprint.h). diff_sketches quantifies that overlap so the
+// service can decide whether a warm start is worth attempting and report
+// how much search work the delta actually saved.
+//
+// Only weighted families are counted: unweighted families carry no search
+// work, so their overlap neither helps nor hurts a warm start.
+#pragma once
+
+#include <cstddef>
+
+#include "service/fingerprint.h"
+
+namespace tap::service {
+
+/// Weighted-family edit summary between a request sketch and a cached
+/// donor sketch. Multiplicity does not matter for reuse — one memoized
+/// outcome replays onto every instance — so families match by
+/// fingerprint, not by (fingerprint, multiplicity).
+struct GraphDelta {
+  /// Weighted families present in both sketches (reusable outcomes).
+  std::size_t shared = 0;
+  /// Weighted families of the request absent from the donor (the work an
+  /// incremental replan must redo).
+  std::size_t changed = 0;
+  /// Weighted families of the donor absent from the request (dead weight;
+  /// harmless, but a high count means the donor is a poor match).
+  std::size_t removed = 0;
+
+  /// Fraction of the request's weighted families the donor covers, in
+  /// [0, 1]. 0 when the request has no weighted families.
+  double similarity() const {
+    const std::size_t denom = shared + changed;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(shared) /
+                            static_cast<double>(denom);
+  }
+
+  /// A warm start can pin at least one family.
+  bool warm_startable() const { return shared > 0; }
+};
+
+/// Diffs two sketches (both sorted by fingerprint — the make_sketch
+/// invariant) in one linear merge pass.
+GraphDelta diff_sketches(const GraphSketch& request,
+                         const GraphSketch& donor);
+
+}  // namespace tap::service

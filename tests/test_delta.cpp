@@ -1,0 +1,547 @@
+// Incremental replanning tests (ISSUE 8): GraphSketch/GraphDelta
+// semantics, the PlanCache similarity tier (including the LRU
+// touch-on-similarity-hit contract), and the acceptance criterion of the
+// whole feature — a zoo-wide differential proof that a warm-started
+// incremental replan is BYTE-identical to a cold search: same plan JSON,
+// same cost, same report, same wire response, at 1 thread and at N.
+#include "service/graph_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+#include "core/tap.h"
+#include "ir/lowering.h"
+#include "models/models.h"
+#include "pruning/prune.h"
+#include "report/report.h"
+#include "service/plan_cache.h"
+#include "service/planner_service.h"
+#include "service/wire.h"
+
+namespace tap::service {
+namespace {
+
+core::TapOptions small_cluster_opts() {
+  core::TapOptions opts;
+  opts.cluster = cost::ClusterSpec::v100_cluster(2);
+  opts.num_shards = 8;
+  opts.dp_replicas = 2;
+  opts.threads = 1;
+  return opts;
+}
+
+GraphSketch sketch_of(const ir::TapGraph& tg) {
+  return make_sketch(tg, pruning::prune_graph(tg));
+}
+
+void expect_results_identical(const core::TapResult& a,
+                              const core::TapResult& b) {
+  EXPECT_EQ(a.best_plan.num_shards, b.best_plan.num_shards);
+  EXPECT_EQ(a.best_plan.dp_replicas, b.best_plan.dp_replicas);
+  EXPECT_EQ(a.best_plan.choice, b.best_plan.choice);
+  EXPECT_EQ(a.cost.forward_comm_s, b.cost.forward_comm_s);
+  EXPECT_EQ(a.cost.backward_comm_s, b.cost.backward_comm_s);
+  EXPECT_EQ(a.cost.overlappable_comm_s, b.cost.overlappable_comm_s);
+  EXPECT_EQ(a.cost.comm_bytes, b.cost.comm_bytes);
+  EXPECT_EQ(a.candidate_plans, b.candidate_plans);
+  EXPECT_EQ(a.valid_plans, b.valid_plans);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.cost_queries, b.cost_queries);
+  EXPECT_TRUE(a.routed.valid);
+  EXPECT_TRUE(b.routed.valid);
+  EXPECT_EQ(a.routed.pattern_index, b.routed.pattern_index);
+  EXPECT_EQ(a.routed.total_comm_bytes(), b.routed.total_comm_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// GraphSketch / GraphDelta semantics
+// ---------------------------------------------------------------------------
+
+TEST(GraphDelta, SketchIsDeterministicAndNameIndependent) {
+  models::TransformerConfig cfg = models::t5_with_layers(2);
+  Graph a = models::build_transformer(cfg);
+  cfg.name = "renamed_t5";
+  Graph b = models::build_transformer(cfg);
+  ir::TapGraph ta = ir::lower(a), tb = ir::lower(b);
+
+  const GraphSketch sa = sketch_of(ta);
+  const GraphSketch sb = sketch_of(tb);
+  EXPECT_EQ(sa, sb);  // same architecture, same sketch, any root name
+
+  // make_sketch invariants: strictly sorted by fingerprint (duplicates
+  // merged), some family repeated (T5's two encoder blocks fold), and
+  // weighted families present (they are the search work).
+  ASSERT_FALSE(sa.families.empty());
+  for (std::size_t i = 1; i < sa.families.size(); ++i) {
+    EXPECT_TRUE(sa.families[i - 1].fp < sa.families[i].fp);
+  }
+  bool any_repeated = false;
+  for (const FamilySubprint& f : sa.families) {
+    EXPECT_GE(f.multiplicity, 1);
+    any_repeated = any_repeated || f.multiplicity >= 2;
+  }
+  EXPECT_TRUE(any_repeated);
+  EXPECT_GT(sa.weighted_count(), 0u);
+}
+
+TEST(GraphDelta, SelfDiffIsIdentity) {
+  Graph g = models::build_transformer(models::t5_with_layers(2));
+  ir::TapGraph tg = ir::lower(g);
+  const GraphSketch s = sketch_of(tg);
+
+  const GraphDelta d = diff_sketches(s, s);
+  EXPECT_EQ(d.shared, s.weighted_count());
+  EXPECT_EQ(d.changed, 0u);
+  EXPECT_EQ(d.removed, 0u);
+  EXPECT_EQ(d.similarity(), 1.0);
+  EXPECT_TRUE(d.warm_startable());
+}
+
+TEST(GraphDelta, AddedBlockSharesFamilies) {
+  // One extra encoder/decoder block: the canonical fleet edit. Every
+  // depth-independent family transfers, so the delta must be
+  // warm-startable with high similarity.
+  Graph g2 = models::build_transformer(models::t5_with_layers(2));
+  Graph g3 = models::build_transformer(models::t5_with_layers(3));
+  ir::TapGraph t2 = ir::lower(g2);
+  ir::TapGraph t3 = ir::lower(g3);
+
+  const GraphDelta d = diff_sketches(sketch_of(t3), sketch_of(t2));
+  EXPECT_GT(d.shared, 0u);
+  EXPECT_TRUE(d.warm_startable());
+  EXPECT_GT(d.similarity(), 0.5);
+}
+
+TEST(GraphDelta, VocabResizeKeepsBlockFamilies) {
+  // Resizing the vocabulary changes the embedding/head families but not
+  // the interior blocks (their boundary specs are d_model activations):
+  // a partial overlap, still warm-startable.
+  models::TransformerConfig cfg = models::t5_with_layers(2);
+  Graph base_g = models::build_transformer(cfg);
+  cfg.vocab = 32256;
+  Graph edited_g = models::build_transformer(cfg);
+  ir::TapGraph base = ir::lower(base_g);
+  ir::TapGraph edited = ir::lower(edited_g);
+
+  const GraphDelta d = diff_sketches(sketch_of(edited), sketch_of(base));
+  EXPECT_GT(d.shared, 0u);
+  EXPECT_GT(d.changed, 0u);
+  EXPECT_TRUE(d.warm_startable());
+  EXPECT_LT(d.similarity(), 1.0);
+}
+
+TEST(GraphDelta, HiddenDimChangeSharesNothing) {
+  // d_model flows through every weighted family (weights and boundary
+  // specs alike): nothing transfers, the delta says so, and the planner
+  // falls back to an effectively cold search.
+  models::TransformerConfig cfg = models::t5_with_layers(2);
+  Graph base_g = models::build_transformer(cfg);
+  cfg.d_model = 1280;  // heads stay 16: 80 per head
+  Graph edited_g = models::build_transformer(cfg);
+  ir::TapGraph base = ir::lower(base_g);
+  ir::TapGraph edited = ir::lower(edited_g);
+
+  const GraphDelta d = diff_sketches(sketch_of(edited), sketch_of(base));
+  EXPECT_EQ(d.shared, 0u);
+  EXPECT_FALSE(d.warm_startable());
+  EXPECT_EQ(d.similarity(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache similarity tier
+// ---------------------------------------------------------------------------
+
+FamilySubprint sub(std::uint64_t hi, bool weighted) {
+  FamilySubprint f;
+  f.fp = Fingerprint{hi, 0};
+  f.multiplicity = 1;
+  f.weighted = weighted;
+  return f;
+}
+
+PlanKey test_key(std::uint64_t hi, const Fingerprint& options,
+                 bool sweep = false) {
+  PlanKey k;
+  k.graph = Fingerprint{hi, 0};
+  k.options = options;
+  k.sweep_mesh = sweep;
+  return k;
+}
+
+TEST(PlanCacheSimilarity, FindsNearestDonorByWeightedOverlap) {
+  PlanCache cache;
+  const Fingerprint oid{7, 7};
+  const PlanKey near = test_key(0xA, oid);
+  const PlanKey far = test_key(0xB, oid);
+
+  GraphSketch near_s, far_s, req_s;
+  near_s.families = {sub(1, true), sub(2, true), sub(3, true)};
+  far_s.families = {sub(1, true), sub(9, true)};
+  req_s.families = {sub(1, true), sub(2, true), sub(3, true), sub(4, true)};
+  cache.record_sketch(near, near_s);
+  cache.record_sketch(far, far_s);
+
+  auto match = cache.find_similar(test_key(0xE, oid), req_s);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->key, near);
+  EXPECT_EQ(match->delta.shared, 3u);
+  EXPECT_EQ(match->delta.changed, 1u);
+  EXPECT_EQ(match->delta.removed, 0u);
+  EXPECT_EQ(cache.stats().similarity_hits, 1u);
+}
+
+TEST(PlanCacheSimilarity, TieBreaksOnSmallestKeyHex) {
+  PlanCache cache;
+  const Fingerprint oid{7, 7};
+  const PlanKey k1 = test_key(0x01, oid);
+  const PlanKey k2 = test_key(0x02, oid);
+
+  GraphSketch s;
+  s.families = {sub(1, true), sub(2, true)};
+  cache.record_sketch(k2, s);  // recorded first must not matter
+  cache.record_sketch(k1, s);
+
+  auto match = cache.find_similar(test_key(0xE, oid), s);
+  ASSERT_TRUE(match.has_value());
+  const PlanKey& expected = k1.to_hex() < k2.to_hex() ? k1 : k2;
+  EXPECT_EQ(match->key, expected);
+}
+
+TEST(PlanCacheSimilarity, RequiresMatchingOptionsAndSweepFlag) {
+  PlanCache cache;
+  const Fingerprint oid{7, 7};
+  const Fingerprint other{8, 8};
+
+  GraphSketch s;
+  s.families = {sub(1, true)};
+  cache.record_sketch(test_key(0xA, other), s);        // wrong options
+  cache.record_sketch(test_key(0xB, oid, true), s);    // wrong sweep flag
+  EXPECT_FALSE(cache.find_similar(test_key(0xE, oid), s).has_value());
+
+  // Unweighted overlap is not search work and never makes a donor.
+  GraphSketch unweighted;
+  unweighted.families = {sub(1, false)};
+  cache.record_sketch(test_key(0xC, oid), unweighted);
+  GraphSketch req;
+  req.families = {sub(1, false), sub(2, true)};
+  EXPECT_FALSE(cache.find_similar(test_key(0xE, oid), req).has_value());
+  EXPECT_EQ(cache.stats().similarity_misses, 2u);
+}
+
+TEST(PlanCacheSimilarity, ExcludesRequestItself) {
+  PlanCache cache;
+  const Fingerprint oid{7, 7};
+  const PlanKey self = test_key(0xA, oid);
+  GraphSketch s;
+  s.families = {sub(1, true)};
+  cache.record_sketch(self, s);
+  EXPECT_FALSE(cache.find_similar(self, s).has_value());
+}
+
+TEST(PlanCacheSimilarity, SimilarityHitTouchesOnlyDonorLru) {
+  // The starvation rule: a similarity hit refreshes the DONOR's recency
+  // in the exact memory tier, and only the donor's — candidates that
+  // were probed but lost keep their LRU position. Otherwise heavy
+  // similarity traffic would evict exact-hit entries.
+  PlanCacheOptions copts;
+  copts.capacity = 3;
+  copts.stripes = 1;  // one LRU list so the eviction order is total
+  PlanCache cache(copts);
+  Graph g = models::build_transformer(models::t5_with_layers(1));
+  ir::TapGraph tg = ir::lower(g);
+
+  const Fingerprint oid{7, 7};
+  const PlanKey ka = test_key(0xA, oid), kb = test_key(0xB, oid),
+                kc = test_key(0xC, oid), kd = test_key(0xD, oid);
+  const core::PlanRecord rec;
+  cache.insert(ka, rec, tg);
+  cache.insert(kb, rec, tg);
+  cache.insert(kc, rec, tg);  // recency now C > B > A
+
+  GraphSketch donor_a, donor_b, req;
+  donor_a.families = {sub(1, true), sub(2, true), sub(3, true)};
+  donor_b.families = {sub(1, true), sub(2, true)};
+  req.families = {sub(1, true), sub(2, true), sub(3, true), sub(9, true)};
+  cache.record_sketch(ka, donor_a);
+  cache.record_sketch(kb, donor_b);
+
+  // A shares 3 sub-fingerprints and wins; B shares 2, is probed, loses.
+  auto match = cache.find_similar(test_key(0xE, oid), req);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->key, ka);
+
+  // Recency must now be A > C > B: the hit moved A to the front and left
+  // B alone. The next insert evicts B — not A (saved by the donor touch)
+  // and not C (which a probed-candidate touch of B would have doomed).
+  cache.insert(kd, rec, tg);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(ka, tg).has_value());
+  EXPECT_TRUE(cache.lookup(kc, tg).has_value());
+  EXPECT_TRUE(cache.lookup(kd, tg).has_value());
+  EXPECT_FALSE(cache.lookup(kb, tg).has_value());
+}
+
+TEST(PlanCacheSimilarity, SketchStoreEvictsLeastRecentlyMatched) {
+  PlanCacheOptions copts;
+  copts.sketch_capacity = 2;
+  PlanCache cache(copts);
+  const Fingerprint oid{7, 7};
+
+  GraphSketch sa, sb, sc;
+  sa.families = {sub(1, true)};
+  sb.families = {sub(2, true)};
+  sc.families = {sub(3, true)};
+  cache.record_sketch(test_key(0xA, oid), sa);
+  cache.record_sketch(test_key(0xB, oid), sb);
+  cache.record_sketch(test_key(0xC, oid), sc);  // evicts A's sketch
+
+  EXPECT_FALSE(cache.find_similar(test_key(0xE, oid), sa).has_value());
+  auto match = cache.find_similar(test_key(0xE, oid), sb);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->key, test_key(0xB, oid));
+}
+
+TEST(PlanCacheSimilarity, ZeroCapacityDisablesTier) {
+  PlanCacheOptions copts;
+  copts.sketch_capacity = 0;
+  PlanCache cache(copts);
+  const Fingerprint oid{7, 7};
+  GraphSketch s;
+  s.families = {sub(1, true)};
+  cache.record_sketch(test_key(0xA, oid), s);
+  EXPECT_FALSE(cache.find_similar(test_key(0xE, oid), s).has_value());
+  EXPECT_EQ(cache.stats().similarity_hits, 0u);
+  EXPECT_EQ(cache.stats().similarity_misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental replanning through the service
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalReplan, WarmStartPinsFamiliesBitIdentical) {
+  core::TapOptions opts = small_cluster_opts();
+  Graph base_g = models::build_transformer(models::t5_with_layers(2));
+  Graph edited_g = models::build_transformer(models::t5_with_layers(3));
+  ir::TapGraph base = ir::lower(base_g);
+  ir::TapGraph edited = ir::lower(edited_g);
+  const core::TapResult cold = core::auto_parallel(edited, opts);
+
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  PlannerService svc(sopts);
+  svc.plan({&base, opts, false});
+  const core::TapResult warm = svc.plan({&edited, opts, false});
+
+  expect_results_identical(cold, warm);
+  EXPECT_TRUE(warm.provenance.complete());
+  EXPECT_TRUE(warm.provenance.incremental());
+  EXPECT_GT(warm.provenance.families_pinned, 0);
+  EXPECT_LE(warm.provenance.families_pinned,
+            warm.provenance.families_searched);
+  // Pinned families count inside families_searched: a warm-started
+  // complete result reports full coverage, exactly like a cold one.
+  EXPECT_EQ(warm.provenance.families_searched,
+            warm.provenance.families_total);
+  EXPECT_EQ(cold.provenance.families_pinned, 0);
+  EXPECT_STREQ(core::plan_provenance_label(warm.provenance), "incremental");
+  EXPECT_STREQ(core::plan_provenance_label(cold.provenance), "complete");
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.searches, 2u);
+  EXPECT_EQ(st.incremental_attempts, 2u);  // base probed too (and missed)
+  EXPECT_EQ(st.incremental_hits, 1u);
+  EXPECT_EQ(st.families_pinned,
+            static_cast<std::uint64_t>(warm.provenance.families_pinned));
+  EXPECT_EQ(svc.cache_stats().similarity_hits, 1u);
+  EXPECT_EQ(svc.cache_stats().similarity_misses, 1u);
+}
+
+TEST(IncrementalReplan, IncrementalOffSearchesCold) {
+  core::TapOptions opts = small_cluster_opts();
+  Graph base_g = models::build_transformer(models::t5_with_layers(2));
+  Graph edited_g = models::build_transformer(models::t5_with_layers(3));
+  ir::TapGraph base = ir::lower(base_g);
+  ir::TapGraph edited = ir::lower(edited_g);
+  const core::TapResult cold = core::auto_parallel(edited, opts);
+
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  sopts.incremental = false;
+  PlannerService svc(sopts);
+  svc.plan({&base, opts, false});
+  const core::TapResult off = svc.plan({&edited, opts, false});
+
+  expect_results_identical(cold, off);
+  EXPECT_EQ(off.provenance.families_pinned, 0);
+  EXPECT_FALSE(off.provenance.incremental());
+  EXPECT_EQ(svc.stats().incremental_attempts, 0u);
+  EXPECT_EQ(svc.stats().incremental_hits, 0u);
+}
+
+TEST(IncrementalReplan, CancellableRequestSkipsWarmStart) {
+  // Deadlined requests degrade by abandoning un-searched families in the
+  // cold family order; a warm start would reshuffle which families those
+  // are. The service must not even probe the similarity tier for them.
+  core::TapOptions opts = small_cluster_opts();
+  Graph base_g = models::build_transformer(models::t5_with_layers(2));
+  Graph edited_g = models::build_transformer(models::t5_with_layers(3));
+  ir::TapGraph base = ir::lower(base_g);
+  ir::TapGraph edited = ir::lower(edited_g);
+
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  PlannerService svc(sopts);
+  core::TapOptions deadlined = opts;
+  deadlined.deadline_ms = 60000;  // generous: results stay complete
+  svc.plan({&base, deadlined, false});
+  const core::TapResult r = svc.plan({&edited, deadlined, false});
+
+  EXPECT_TRUE(r.provenance.complete());
+  EXPECT_EQ(r.provenance.families_pinned, 0);
+  EXPECT_EQ(svc.stats().incremental_attempts, 0u);
+  EXPECT_EQ(svc.stats().incremental_hits, 0u);
+}
+
+TEST(IncrementalReplan, SweepWarmStartAcrossMeshes) {
+  core::TapOptions opts = small_cluster_opts();
+  Graph base_g = models::build_transformer(models::t5_with_layers(1));
+  Graph edited_g = models::build_transformer(models::t5_with_layers(2));
+  ir::TapGraph base = ir::lower(base_g);
+  ir::TapGraph edited = ir::lower(edited_g);
+  const core::TapResult cold = core::auto_parallel_best_mesh(edited, opts);
+
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  PlannerService svc(sopts);
+  svc.plan({&base, opts, true});
+  const core::TapResult warm = svc.plan({&edited, opts, true});
+
+  expect_results_identical(cold, warm);
+  EXPECT_GT(warm.provenance.families_pinned, 0);
+  EXPECT_TRUE(warm.provenance.incremental());
+  EXPECT_EQ(core::plan_to_json(edited, cold.best_plan),
+            core::plan_to_json(edited, warm.best_plan));
+}
+
+// ---------------------------------------------------------------------------
+// Zoo-wide differential: incremental == cold, byte for byte
+// ---------------------------------------------------------------------------
+
+struct Perturbation {
+  const char* label;
+  std::function<Graph()> build;
+  /// Edits that keep weighted families in common MUST fire the warm
+  /// start; a d_model change shares nothing and plans effectively cold.
+  bool expect_pinned;
+};
+
+struct DifferentialCase {
+  const char* label;
+  std::function<Graph()> base;
+  std::vector<Perturbation> edits;
+};
+
+std::vector<DifferentialCase> differential_zoo() {
+  std::vector<DifferentialCase> zoo;
+  {
+    DifferentialCase c;
+    c.label = "t5";
+    c.base = [] {
+      return models::build_transformer(models::t5_with_layers(2));
+    };
+    c.edits = {
+        {"add_block",
+         [] { return models::build_transformer(models::t5_with_layers(3)); },
+         true},
+        {"resize_vocab",
+         [] {
+           models::TransformerConfig cfg = models::t5_with_layers(2);
+           cfg.vocab = 32256;
+           return models::build_transformer(cfg);
+         },
+         true},
+        {"change_hidden_dim",
+         [] {
+           models::TransformerConfig cfg = models::t5_with_layers(2);
+           cfg.d_model = 1280;
+           return models::build_transformer(cfg);
+         },
+         false},
+    };
+    zoo.push_back(std::move(c));
+  }
+  {
+    DifferentialCase c;
+    c.label = "moe";
+    auto moe = [](int layers, std::int64_t vocab, std::int64_t d_model) {
+      models::MoeConfig cfg = models::widenet();
+      cfg.num_layers = layers;
+      cfg.vocab = vocab;
+      cfg.d_model = d_model;
+      return models::build_moe_transformer(cfg);
+    };
+    c.base = [moe] { return moe(2, 32000, 768); };
+    c.edits = {
+        {"add_block", [moe] { return moe(3, 32000, 768); }, true},
+        {"resize_vocab", [moe] { return moe(2, 32256, 768); }, true},
+        // 960 keeps 12 heads at 80 dims each.
+        {"change_hidden_dim", [moe] { return moe(2, 32000, 960); }, false},
+    };
+    zoo.push_back(std::move(c));
+  }
+  return zoo;
+}
+
+void run_differential(const DifferentialCase& c, int threads) {
+  core::TapOptions opts = small_cluster_opts();
+  opts.threads = threads;
+  Graph base_g = c.base();
+  ir::TapGraph base_tg = ir::lower(base_g);
+
+  ServiceOptions sopts;
+  sopts.request_threads = 1;
+  PlannerService svc(sopts);
+  svc.plan({&base_tg, opts, false});
+
+  for (const Perturbation& edit : c.edits) {
+    SCOPED_TRACE(std::string(c.label) + "/" + edit.label +
+                 "/threads=" + std::to_string(threads));
+    Graph g = edit.build();
+    ir::TapGraph tg = ir::lower(g);
+
+    const core::TapResult cold = core::auto_parallel(tg, opts);
+    const core::TapResult warm = svc.plan({&tg, opts, false});
+
+    EXPECT_TRUE(warm.provenance.complete());
+    if (edit.expect_pinned) {
+      EXPECT_GT(warm.provenance.families_pinned, 0);
+    }
+    expect_results_identical(cold, warm);
+
+    // The byte-for-byte contract: every serialized artifact of the plan
+    // must be indistinguishable from the cold search's.
+    EXPECT_EQ(core::plan_to_json(tg, cold.best_plan),
+              core::plan_to_json(tg, warm.best_plan));
+    const PlanKey key = svc.key_for({&tg, opts, false});
+    EXPECT_EQ(plan_response_json(tg, key, cold),
+              plan_response_json(tg, key, warm));
+    EXPECT_EQ(report::to_json(report::build_report(tg, cold, opts)),
+              report::to_json(report::build_report(tg, warm, opts)));
+  }
+}
+
+TEST(IncrementalReplan, ZooDifferentialByteIdenticalSingleThread) {
+  for (const DifferentialCase& c : differential_zoo()) run_differential(c, 1);
+}
+
+TEST(IncrementalReplan, ZooDifferentialByteIdenticalMultiThread) {
+  for (const DifferentialCase& c : differential_zoo()) run_differential(c, 4);
+}
+
+}  // namespace
+}  // namespace tap::service
