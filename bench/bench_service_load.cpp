@@ -10,6 +10,15 @@
 // TAP_BENCH_JSON is set (CI's bench-smoke artifact path). The driver is
 // deterministic (util::Rng, fixed seeds); wall-clock figures of course
 // are not.
+//
+// Flight-recorder overhead gate (ISSUE 9): the same load runs in
+// interleaved legs with the per-shard flight recorder disabled and
+// enabled, and the best-of throughput with the recorder ON must stay
+// within 2% of the best-of with it OFF — the recorder claims to be
+// unfeelable on the hot path, so CI holds it to that. Interleaving the
+// legs (off, on, off, on, ...) and comparing best-of-N absorbs most
+// scheduler noise; a borderline result gets one retry with fresh legs
+// before the bench fails.
 #include <algorithm>
 #include <cmath>
 #include <thread>
@@ -79,6 +88,66 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
+struct LoadResult {
+  double wall_s = 0.0;
+  std::vector<double> latencies;  ///< per-request ms, unsorted
+  int errors = 0;
+
+  double throughput() const {
+    return wall_s > 0
+               ? static_cast<double>(latencies.size()) / wall_s
+               : 0.0;
+  }
+};
+
+/// One closed-loop leg: `clients` threads, `requests_per_client` POSTs
+/// each, Zipf-skewed over `bodies`, persistent connections. `seed_salt`
+/// keeps legs deterministic yet distinct.
+LoadResult run_load(net::HttpServer& server,
+                    const std::vector<std::string>& bodies, int clients,
+                    int requests_per_client, double zipf_s,
+                    std::uint64_t seed_salt) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<int> errors(static_cast<std::size_t>(clients), 0);
+  util::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::Rng rng(0x5eedu + seed_salt * 1000003u +
+                    static_cast<std::uint64_t>(c));
+      Zipf zipf(bodies.size(), zipf_s);
+      net::HttpConnection conn({"127.0.0.1", server.bound_port()}, {});
+      net::HttpMessage post;
+      post.method = "POST";
+      post.target = "/plan";
+      for (int i = 0; i < requests_per_client; ++i) {
+        post.body = bodies[zipf.sample(rng)];
+        util::Stopwatch sw;
+        try {
+          net::HttpMessage resp = conn.request(post);
+          if (resp.status != 200) ++errors[static_cast<std::size_t>(c)];
+        } catch (const net::HttpClientError&) {
+          ++errors[static_cast<std::size_t>(c)];
+        }
+        latencies[static_cast<std::size_t>(c)].push_back(
+            sw.elapsed_millis());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult out;
+  out.wall_s = wall.elapsed_seconds();
+  for (int c = 0; c < clients; ++c) {
+    out.latencies.insert(out.latencies.end(),
+                         latencies[static_cast<std::size_t>(c)].begin(),
+                         latencies[static_cast<std::size_t>(c)].end());
+    out.errors += errors[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -103,48 +172,46 @@ int main() {
   const int kClients = 4;
   const int kRequestsPerClient = 100;
   const double kZipfS = 1.2;
+  const int kRounds = 3;
+  const double kMaxOverhead = 0.02;  // recorder-on may cost at most 2%
 
-  std::vector<std::vector<double>> latencies(kClients);
-  std::vector<int> errors(kClients, 0);
-  util::Stopwatch wall;
-  std::vector<std::thread> clients;
-  clients.reserve(kClients);
-  for (int c = 0; c < kClients; ++c) {
-    clients.emplace_back([&, c] {
-      util::Rng rng(0x5eedu + static_cast<std::uint64_t>(c));
-      Zipf zipf(mix.size(), kZipfS);
-      net::HttpConnection conn({"127.0.0.1", server.bound_port()}, {});
-      net::HttpMessage post;
-      post.method = "POST";
-      post.target = "/plan";
-      for (int i = 0; i < kRequestsPerClient; ++i) {
-        post.body = bodies[zipf.sample(rng)];
-        util::Stopwatch sw;
-        try {
-          net::HttpMessage resp = conn.request(post);
-          if (resp.status != 200) ++errors[c];
-        } catch (const net::HttpClientError&) {
-          ++errors[c];
-        }
-        latencies[c].push_back(sw.elapsed_millis());
-      }
-    });
-  }
-  for (auto& t : clients) t.join();
-  const double wall_s = wall.elapsed_seconds();
-  server.stop();
+  // Warmup: populate the plan cache (the four searches happen here) and
+  // fault in every connection-path code page, so the measured legs
+  // compare recorder cost, not cold-start cost.
+  run_load(server, bodies, kClients, kRequestsPerClient, kZipfS,
+           /*seed_salt=*/0);
 
-  std::vector<double> all;
+  std::vector<double> all;  // latencies across every measured leg
   int total_errors = 0;
-  for (int c = 0; c < kClients; ++c) {
-    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
-    total_errors += errors[c];
+  double best_off = 0.0, best_on = 0.0;
+  std::uint64_t salt = 1;
+  auto measure_rounds = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (const bool on : {false, true}) {
+        handler.recorder().set_enabled(on);
+        const LoadResult leg = run_load(server, bodies, kClients,
+                                        kRequestsPerClient, kZipfS, salt++);
+        total_errors += leg.errors;
+        all.insert(all.end(), leg.latencies.begin(), leg.latencies.end());
+        (on ? best_on : best_off) =
+            std::max(on ? best_on : best_off, leg.throughput());
+      }
+    }
+    handler.recorder().set_enabled(true);
+  };
+  measure_rounds(kRounds);
+  if (best_on < (1.0 - kMaxOverhead) * best_off) {
+    // Borderline: one retry with fresh interleaved legs before failing —
+    // best-of over more legs converges on the true (noise-free) rate.
+    std::cout << "recorder overhead above bar, retrying with " << kRounds
+              << " more rounds\n";
+    measure_rounds(kRounds);
   }
+  server.stop();
   std::sort(all.begin(), all.end());
 
   const auto stats = svc.stats();
   const double total = static_cast<double>(all.size());
-  const double throughput = wall_s > 0 ? total / wall_s : 0.0;
   const double hit_ratio =
       stats.requests > 0 ? static_cast<double>(stats.cache_hits) /
                                static_cast<double>(stats.requests)
@@ -156,11 +223,16 @@ int main() {
   const double p50 = percentile(all, 0.50);
   const double p95 = percentile(all, 0.95);
   const double p99 = percentile(all, 0.99);
+  const double overhead_pct =
+      best_off > 0 ? (best_off - best_on) / best_off * 100.0 : 0.0;
 
   util::Table table({"metric", "value"});
   table.add_row({"requests", util::fmt("%.0f", total)});
-  table.add_row({"wall s", util::fmt("%.2f", wall_s)});
-  table.add_row({"throughput req/s", util::fmt("%.1f", throughput)});
+  table.add_row({"throughput req/s (recorder off)",
+                 util::fmt("%.1f", best_off)});
+  table.add_row({"throughput req/s (recorder on)",
+                 util::fmt("%.1f", best_on)});
+  table.add_row({"recorder overhead %", util::fmt("%.2f", overhead_pct)});
   table.add_row({"latency p50 ms", util::fmt("%.2f", p50)});
   table.add_row({"latency p95 ms", util::fmt("%.2f", p95)});
   table.add_row({"latency p99 ms", util::fmt("%.2f", p99)});
@@ -172,17 +244,22 @@ int main() {
 
   bench::BenchReporter reporter("service_load");
   reporter.add("requests", total);
-  reporter.add("throughput_rps", throughput);
+  reporter.add("throughput_rps", best_on);
+  reporter.add("recorder_off_rps", best_off);
+  reporter.add("recorder_on_rps", best_on);
+  reporter.add("recorder_overhead_pct", overhead_pct);
   reporter.add("latency_p50_ms", p50);
   reporter.add("latency_p95_ms", p95);
   reporter.add("latency_p99_ms", p99);
   reporter.add("cache_hit_ratio", hit_ratio);
   reporter.add("shed_rate", shed_rate);
   reporter.add("errors", total_errors);
-  reporter.note("mix", "4 t5 specs, zipf s=1.2, 4 closed-loop clients");
+  reporter.note("mix", "4 t5 specs, zipf s=1.2, 4 closed-loop clients, "
+                       "interleaved recorder off/on legs");
 
-  // The bars CI can hold: every request answered, and the Zipf-hot mix
-  // must be overwhelmingly cache-served after the first misses.
+  // The bars CI can hold: every request answered, the Zipf-hot mix
+  // overwhelmingly cache-served after the warmup misses, and the flight
+  // recorder invisible at the throughput level.
   if (total_errors > 0) {
     std::cerr << "FAIL: " << total_errors << " request errors\n";
     return 1;
@@ -190,6 +267,13 @@ int main() {
   if (hit_ratio < 0.9) {
     std::cerr << "FAIL: cache-hit ratio " << hit_ratio
               << " below 0.9 under a 4-spec Zipf mix\n";
+    return 1;
+  }
+  if (best_on < (1.0 - kMaxOverhead) * best_off) {
+    std::cerr << "FAIL: flight-recorder overhead "
+              << util::fmt("%.2f", overhead_pct) << "% exceeds "
+              << kMaxOverhead * 100.0 << "% (best on " << best_on
+              << " req/s vs best off " << best_off << " req/s)\n";
     return 1;
   }
   return 0;

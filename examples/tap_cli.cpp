@@ -90,6 +90,7 @@
 #include "baselines/expert_plans.h"
 #include "net/plan_client.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "report/report.h"
 #include "service/planner_service.h"
@@ -404,9 +405,16 @@ int main(int argc, char** argv) {
     }
     const service::PlanKey& key = wire_key;
     try {
+      // Root the request trace here: the PlanClient forwards this context
+      // as a traceparent header, the shard echoes it back, and (with
+      // --profile) the client span, the shard's flight record, and the
+      // planner pass spans all correlate under one trace id.
+      const obs::RequestContext rctx = obs::generate_request_context();
+      obs::ScopedRequestContext rscope(rctx);
       net::PlanClient client(split_urls(args.serve_url));
       net::HttpMessage resp =
           client.post_plan(key, service::model_spec_to_json(spec));
+      std::printf("trace: %s\n", obs::format_traceparent(rctx).c_str());
       if (resp.status != 200) {
         std::cerr << "server answered " << resp.status << ": " << resp.body
                   << "\n";

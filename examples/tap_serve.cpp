@@ -17,8 +17,19 @@
 //                                              cache-missing searches
 //                                              (default on; bit-identical
 //                                              results either way)
+//             [--access-log FILE]              structured JSON access log,
+//                                              one line per sampled
+//                                              request ("-" = stdout)
+//             [--log-sample N]                 log every N-th sampled
+//                                              request (default 1 = all)
+//             [--slow-ms MS]                   flight-recorder slow-request
+//                                              span-capture threshold
+//                                              (default 250)
+//             [--flight-capacity N]            flight-recorder ring slots
+//                                              (default 512)
 //
-// Endpoints: POST /plan, GET /explain, GET /metrics, GET /healthz
+// Endpoints: POST /plan, GET /explain, GET /metrics, GET /healthz,
+// GET /debug/requests?n=K
 // (net/plan_handler.h). On SIGTERM/SIGINT the server drains gracefully —
 // stops accepting, finishes in-flight requests within the drain budget,
 // answers them with Connection: close — then exits 0. A second signal is
@@ -33,8 +44,12 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+
 #include "net/http_server.h"
 #include "net/plan_handler.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "service/planner_service.h"
 
 namespace {
@@ -55,6 +70,10 @@ struct Args {
   std::int64_t max_pending = 0;
   std::int64_t drain_ms = 5000;
   bool incremental = true;
+  std::string access_log;
+  std::int64_t log_sample = 1;
+  std::int64_t slow_ms = 250;
+  std::int64_t flight_capacity = 512;
 };
 
 bool parse_int(const char* s, std::int64_t* out) {
@@ -110,6 +129,16 @@ bool parse(int argc, char** argv, Args* a) {
       if (!as_int(&a->max_pending)) return false;
     } else if (!std::strcmp(f, "--drain-ms")) {
       if (!as_int(&a->drain_ms)) return false;
+    } else if (!std::strcmp(f, "--access-log")) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->access_log = v;
+    } else if (!std::strcmp(f, "--log-sample")) {
+      if (!as_int(&a->log_sample)) return false;
+    } else if (!std::strcmp(f, "--slow-ms")) {
+      if (!as_int(&a->slow_ms)) return false;
+    } else if (!std::strcmp(f, "--flight-capacity")) {
+      if (!as_int(&a->flight_capacity)) return false;
     } else if (!std::strcmp(f, "--incremental")) {
       const char* v = value();
       if (v != nullptr && !std::strcmp(v, "on")) {
@@ -134,6 +163,11 @@ bool parse(int argc, char** argv, Args* a) {
     std::cerr << "bad --port\n";
     return false;
   }
+  if (a->log_sample < 1 || a->slow_ms < 0 || a->flight_capacity < 2) {
+    std::cerr << "need --log-sample >= 1, --slow-ms >= 0, "
+                 "--flight-capacity >= 2\n";
+    return false;
+  }
   return true;
 }
 
@@ -151,10 +185,24 @@ int main(int argc, char** argv) {
   sopts.incremental = args.incremental;
   service::PlannerService svc(sopts);
 
+  std::unique_ptr<obs::AccessLogger> access_log;
+  if (!args.access_log.empty()) {
+    access_log = std::make_unique<obs::AccessLogger>(
+        args.access_log, static_cast<std::uint64_t>(args.log_sample));
+    if (!access_log->ok()) {
+      std::cerr << "tap_serve: cannot open access log " << args.access_log
+                << "\n";
+      return 1;
+    }
+  }
+
   net::PlanHandlerOptions hopts;
   hopts.num_shards = args.shards;
   hopts.shard_id = args.shard_id;
   hopts.search_threads = args.threads;
+  hopts.flight_capacity = static_cast<std::size_t>(args.flight_capacity);
+  hopts.slow_request_ms = static_cast<double>(args.slow_ms);
+  hopts.access_log = access_log.get();
   net::PlanHandler handler(&svc, hopts);
 
   net::HttpServerOptions nopts;
@@ -190,6 +238,17 @@ int main(int argc, char** argv) {
   server.stop();
 
   const auto ss = svc.stats();
+  const obs::Histogram& lat =
+      *obs::registry().histogram("net.http.request_ms");
+  std::printf("tap_serve: request latency p50 %.2f ms, p95 %.2f ms, "
+              "p99 %.2f ms\n",
+              obs::histogram_quantile(lat, 0.50),
+              obs::histogram_quantile(lat, 0.95),
+              obs::histogram_quantile(lat, 0.99));
+  if (access_log != nullptr) {
+    std::printf("tap_serve: access log: %llu lines\n",
+                static_cast<unsigned long long>(access_log->lines()));
+  }
   std::printf("tap_serve: served %llu requests (%llu plans, %llu cache "
               "hits, %llu coalesced, %llu incremental, %llu shed); "
               "exiting 0\n",

@@ -66,6 +66,21 @@ struct TapOptions {
   std::int64_t max_checkpoints = -1;
 };
 
+/// Serving-side deadline class of a latency budget: a closed,
+/// low-cardinality bucketing for metrics labels, request records, and
+/// admission policy (ISSUE 9). Always returns a static-storage string,
+/// so it is safe to keep by pointer in POD records:
+///   <= 0  "none"      no deadline — complete search, whatever it costs
+///   < 100 "tight"     interactive; fallback pressure is expected
+///   < 1000 "standard" one search round trip fits comfortably
+///   else  "relaxed"   batch-ish; deadline exists but rarely binds
+inline const char* deadline_class_name(std::int64_t deadline_ms) {
+  if (deadline_ms <= 0) return "none";
+  if (deadline_ms < 100) return "tight";
+  if (deadline_ms < 1000) return "standard";
+  return "relaxed";
+}
+
 /// Search work counters (Table 2, Figs. 9/10). Every parallel task owns a
 /// local copy; the join merges them in task-index order so the totals are
 /// deterministic.

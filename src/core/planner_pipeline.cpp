@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "util/fault.h"
 #include "util/stopwatch.h"
@@ -72,7 +73,15 @@ void PlannerPipeline::run_prefix(PlanContext& ctx, std::size_t n) const {
     const std::string name = passes_[i]->name();
     util::Stopwatch sw;
     {
-      TAP_SPAN(name, "planner.pass");
+      obs::ScopedSpan span(name, "planner.pass");
+      // When this run serves a traced request (the PlannerService installs
+      // the request's context on the worker thread), tag the pass span
+      // with the trace id so one Chrome trace correlates
+      // client -> shard -> pass.
+      if (const obs::RequestContext* rc = obs::current_request_context();
+          rc != nullptr && rc->sampled) {
+        span.arg("trace", rc->trace_hex());
+      }
       passes_[i]->run(ctx);
     }
     const double seconds = sw.elapsed_seconds();

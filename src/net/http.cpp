@@ -82,6 +82,16 @@ const std::string* HttpMessage::find_header(std::string_view name) const {
   return nullptr;
 }
 
+void HttpMessage::set_header(std::string name, std::string value) {
+  for (HttpHeader& h : headers) {
+    if (iequals(h.name, name)) {
+      h.value = std::move(value);
+      return;
+    }
+  }
+  headers.push_back({std::move(name), std::move(value)});
+}
+
 HttpParser::HttpParser(Mode mode, HttpLimits limits)
     : mode_(mode), limits_(limits) {
   line_.reserve(256);

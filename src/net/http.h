@@ -67,6 +67,10 @@ struct HttpMessage {
 
   /// Case-insensitive header lookup; nullptr when absent.
   const std::string* find_header(std::string_view name) const;
+
+  /// Sets a header, replacing an existing one case-insensitively (so an
+  /// echoed `traceparent` can never be emitted twice).
+  void set_header(std::string name, std::string value);
 };
 
 class HttpParser {

@@ -44,6 +44,33 @@ ServerMetrics& metrics() {
   return m;
 }
 
+/// Per-route variant of net.http.request_ms (labeled; see obs/metrics.h).
+/// Routes are a fixed enumeration so the label cardinality is bounded —
+/// unknown paths all share "other".
+obs::Histogram* route_request_ms(std::string_view path) {
+  struct Hists {
+    obs::Histogram* plan =
+        obs::registry().histogram("net.http.request_ms|route=plan");
+    obs::Histogram* explain =
+        obs::registry().histogram("net.http.request_ms|route=explain");
+    obs::Histogram* metrics =
+        obs::registry().histogram("net.http.request_ms|route=metrics");
+    obs::Histogram* healthz =
+        obs::registry().histogram("net.http.request_ms|route=healthz");
+    obs::Histogram* debug = obs::registry().histogram(
+        "net.http.request_ms|route=debug_requests");
+    obs::Histogram* other =
+        obs::registry().histogram("net.http.request_ms|route=other");
+  };
+  static Hists h;
+  if (path == "/plan") return h.plan;
+  if (path == "/explain") return h.explain;
+  if (path == "/metrics") return h.metrics;
+  if (path == "/healthz") return h.healthz;
+  if (path == "/debug/requests") return h.debug;
+  return h.other;
+}
+
 }  // namespace
 
 HttpServer::HttpServer(Handler handler, HttpServerOptions opts)
@@ -219,7 +246,9 @@ void HttpServer::serve_connection(int fd) {
                         !stopping_.load(std::memory_order_relaxed);
       metrics().requests->add();
       requests_served_.fetch_add(1, std::memory_order_relaxed);
-      metrics().request_ms->observe(sw.elapsed_millis());
+      const double ms = sw.elapsed_millis();
+      metrics().request_ms->observe(ms);
+      route_request_ms(target_path(req.target))->observe(ms);
       if (!send_all(fd, serialize_response(resp)) || !resp.keep_alive) {
         close_conn = true;
         break;

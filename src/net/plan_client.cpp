@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tap::net {
@@ -172,7 +174,18 @@ PlanClient::PlanClient(std::vector<std::string> shard_urls,
 HttpMessage PlanClient::send(int shard, const HttpMessage& req) {
   TAP_CHECK(shard >= 0 && shard < num_shards())
       << "shard " << shard << " out of range";
-  return conns_[static_cast<std::size_t>(shard)]->request(req);
+  // Propagate the calling thread's request context (or start a fresh root
+  // trace) as a W3C traceparent header, so the shard's flight recorder,
+  // access log, and trace spans all correlate with this hop's span.
+  const obs::RequestContext* current = obs::current_request_context();
+  obs::RequestContext ctx =
+      current != nullptr ? *current : obs::generate_request_context();
+  if (ctx.span_id == 0) ctx.span_id = obs::next_span_id();
+  HttpMessage traced = req;
+  traced.set_header("traceparent", obs::format_traceparent(ctx));
+  obs::ScopedSpan span("net.client.request", "net");
+  if (ctx.sampled) span.arg("trace", ctx.trace_hex());
+  return conns_[static_cast<std::size_t>(shard)]->request(traced);
 }
 
 HttpMessage PlanClient::post_plan(const service::PlanKey& key,

@@ -9,7 +9,24 @@
 //   GET /explain   ModelSpec as query params -> cached PlanReport JSON.
 //   GET /metrics   Prometheus text (obs::dump_prometheus) — every
 //                  request/latency/shed counter of the tier.
-//   GET /healthz   {"status":"ok","shard":k,"shards":N}.
+//   GET /healthz   Shard identity + liveness JSON: shard/shards, the
+//                  ShardScheme fingerprint (a router whose fingerprint
+//                  differs WILL misroute — visible here before the 421s),
+//                  uptime, requests served, build version.
+//   GET /debug/requests?n=K
+//                  The flight recorder's last K request summaries
+//                  (trace id, route, provenance, cache tier, timings;
+//                  slow requests keep their pass spans) as JSON.
+//
+// Observability (ISSUE 9): every request is assigned a RequestContext —
+// parsed from an incoming W3C `traceparent` header when one is present
+// and well-formed, freshly generated otherwise — installed thread-locally
+// for the duration of handling, and echoed back as a `traceparent`
+// response header so clients can correlate. Every request (except
+// /debug/requests itself, which would self-pollute the ring) leaves one
+// FlightRecord in the per-shard recorder and, when configured, one
+// sampled JSON access-log line. Trace ids never enter plan/report/wire
+// JSON bytes — serving answers stay pure functions of the PlanKey.
 //
 // The handler owns a model cache: each distinct architecture is built and
 // lowered once and kept alive for the process lifetime (PlanRequest
@@ -19,6 +36,9 @@
 // 421 naming the owner — a deterministic guard, not a redirect loop.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,10 +49,15 @@
 #include "ir/lowering.h"
 #include "net/http.h"
 #include "net/shard_scheme.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "service/planner_service.h"
 #include "service/wire.h"
 
 namespace tap::net {
+
+/// Build identity reported by /healthz (serving metadata only).
+inline constexpr const char kServeVersion[] = "tap-serve/0.9";
 
 struct PlanHandlerOptions {
   /// Shard layout this process serves; (1, 0) = unsharded.
@@ -41,6 +66,13 @@ struct PlanHandlerOptions {
   ShardSchemeOptions scheme;
   /// Planner search threads per request (bit-identity-neutral).
   int search_threads = 1;
+  /// Flight-recorder ring slots (fixed memory: slots * ~330 B).
+  std::size_t flight_capacity = 512;
+  /// Requests slower than this retain their pipeline pass spans in the
+  /// flight record (fast requests drop them — see obs/flight_recorder.h).
+  double slow_request_ms = 250.0;
+  /// Optional structured access log; borrowed, must outlive the handler.
+  obs::AccessLogger* access_log = nullptr;
 };
 
 class PlanHandler {
@@ -52,6 +84,9 @@ class PlanHandler {
   HttpMessage handle(const HttpMessage& req);
 
   const ShardScheme& scheme() const { return scheme_; }
+  /// The per-shard flight recorder (exposed for tests and the bench's
+  /// recorder-overhead gate).
+  obs::FlightRecorder& recorder() { return recorder_; }
 
  private:
   struct CachedModel {
@@ -62,9 +97,11 @@ class PlanHandler {
         : graph(std::move(g)), tg(ir::lower(graph)) {}
   };
 
-  HttpMessage handle_plan(const HttpMessage& req);
-  HttpMessage handle_explain(const HttpMessage& req);
+  HttpMessage handle_plan(const HttpMessage& req, obs::FlightRecord& rec);
+  HttpMessage handle_explain(const HttpMessage& req,
+                             obs::FlightRecord& rec);
   HttpMessage handle_healthz() const;
+  HttpMessage handle_debug_requests(const HttpMessage& req) const;
   /// Builds (once) and returns the lowered model for `spec`; keyed by the
   /// architecture fields only (mesh/cluster do not change the graph).
   const CachedModel* model_for(const service::ModelSpec& spec);
@@ -72,6 +109,10 @@ class PlanHandler {
   service::PlannerService* svc_;
   PlanHandlerOptions opts_;
   ShardScheme scheme_;
+  obs::FlightRecorder recorder_;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> served_{0};
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<CachedModel>> models_;
 };

@@ -11,6 +11,10 @@ ShardScheme::ShardScheme(int num_shards, ShardSchemeOptions opts)
     : num_shards_(num_shards) {
   TAP_CHECK(num_shards >= 1) << "ShardScheme needs at least one shard";
   TAP_CHECK(opts.vnodes >= 1) << "ShardScheme needs at least one vnode";
+  fingerprint_ = util::splitmix64(
+      util::splitmix64(opts.seed ^
+                       static_cast<std::uint64_t>(num_shards)) +
+      static_cast<std::uint64_t>(opts.vnodes));
   ring_.reserve(static_cast<std::size_t>(num_shards) *
                 static_cast<std::size_t>(opts.vnodes));
   for (int s = 0; s < num_shards; ++s) {

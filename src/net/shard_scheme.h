@@ -43,6 +43,12 @@ class ShardScheme {
   int num_shards() const { return num_shards_; }
   std::size_t num_points() const { return ring_.size(); }
 
+  /// Digest of the scheme identity (num_shards, vnodes, seed). Routers
+  /// and shards that agree on placement agree on this value; /healthz
+  /// exposes it so a router/shard scheme mismatch is visible at a glance
+  /// instead of surfacing as mysterious 421s.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
   /// Owning shard of a raw 64-bit key digest, in [0, num_shards).
   int shard_for_digest(std::uint64_t digest) const;
 
@@ -58,6 +64,7 @@ class ShardScheme {
   };
 
   int num_shards_;
+  std::uint64_t fingerprint_ = 0;
   /// Sorted by (hash, shard) — the tie order is part of determinism.
   std::vector<Point> ring_;
 };

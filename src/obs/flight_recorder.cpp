@@ -1,0 +1,114 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/json.h"
+
+namespace tap::obs {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(16);
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kHex[(v >> shift) & 0xf]);
+  return out;
+}
+
+double round_ms(double ms) { return std::round(ms * 1000.0) / 1000.0; }
+
+}  // namespace
+
+void set_record_field(char* dst, std::size_t cap, std::string_view value) {
+  const std::size_t n = std::min(value.size(), cap - 1);
+  std::memcpy(dst, value.data(), n);
+  dst[n] = '\0';
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, double slow_ms)
+    : capacity_(std::max<std::size_t>(capacity, 2)),
+      slow_ms_(slow_ms),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void FlightRecorder::record(FlightRecord rec) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[seq % capacity_];
+  if (slot.busy.exchange(true, std::memory_order_acquire)) {
+    // Another writer (capacity requests behind/ahead) or a snapshot holds
+    // the slot: drop rather than wait — the recorder must never add a
+    // stall to the request path.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rec.seq = seq;
+  slot.rec = rec;
+  slot.busy.store(false, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot(std::size_t last_n) const {
+  std::vector<FlightRecord> out;
+  out.reserve(std::min(last_n, capacity_));
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.busy.exchange(true, std::memory_order_acquire)) continue;
+    if (slot.rec.seq != 0) out.push_back(slot.rec);
+    slot.busy.store(false, std::memory_order_release);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.seq > b.seq;  // newest first
+            });
+  if (out.size() > last_n) out.resize(last_n);
+  return out;
+}
+
+std::string FlightRecorder::to_json(std::size_t last_n) const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("capacity",
+          util::JsonValue::number(static_cast<double>(capacity_)));
+  doc.set("slow_ms", util::JsonValue::number(slow_ms_));
+  doc.set("total", util::JsonValue::number(static_cast<double>(total())));
+  doc.set("dropped",
+          util::JsonValue::number(static_cast<double>(dropped())));
+  util::JsonValue reqs = util::JsonValue::array();
+  for (const FlightRecord& r : snapshot(last_n)) {
+    util::JsonValue e = util::JsonValue::object();
+    e.set("seq", util::JsonValue::number(static_cast<double>(r.seq)));
+    e.set("trace",
+          util::JsonValue::string(hex64(r.trace_hi) + hex64(r.trace_lo)));
+    e.set("key", util::JsonValue::string(
+                     r.key_digest != 0 ? hex64(r.key_digest) : ""));
+    e.set("route", util::JsonValue::string(r.route));
+    e.set("status", util::JsonValue::number(r.status));
+    e.set("served", util::JsonValue::string(r.served));
+    e.set("provenance", util::JsonValue::string(r.provenance));
+    e.set("deadline_class", util::JsonValue::string(r.deadline_class));
+    e.set("reason", util::JsonValue::string(r.reason));
+    e.set("sampled", util::JsonValue::boolean(r.sampled));
+    e.set("queue_ms", util::JsonValue::number(round_ms(r.queue_ms)));
+    e.set("handle_ms", util::JsonValue::number(round_ms(r.handle_ms)));
+    e.set("search_ms", util::JsonValue::number(round_ms(r.search_ms)));
+    if (r.span_count > 0) {
+      util::JsonValue spans = util::JsonValue::array();
+      const std::size_t n =
+          std::min<std::size_t>(r.span_count, FlightRecord::kMaxSpans);
+      for (std::size_t i = 0; i < n; ++i) {
+        util::JsonValue s = util::JsonValue::object();
+        s.set("name", util::JsonValue::string(r.spans[i].name));
+        s.set("ms", util::JsonValue::number(round_ms(r.spans[i].ms)));
+        spans.push_back(std::move(s));
+      }
+      e.set("spans", std::move(spans));
+    }
+    reqs.push_back(std::move(e));
+  }
+  doc.set("requests", std::move(reqs));
+  return doc.dump();
+}
+
+}  // namespace tap::obs

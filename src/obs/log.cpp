@@ -1,0 +1,80 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/json.h"
+
+namespace tap::obs {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(16);
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kHex[(v >> shift) & 0xf]);
+  return out;
+}
+
+double round_ms(double ms) { return std::round(ms * 1000.0) / 1000.0; }
+
+}  // namespace
+
+std::string access_log_line(const FlightRecord& rec, std::int64_t ts_ms) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("ts_ms", util::JsonValue::number(static_cast<double>(ts_ms)));
+  doc.set("trace", util::JsonValue::string(hex64(rec.trace_hi) +
+                                           hex64(rec.trace_lo)));
+  doc.set("route", util::JsonValue::string(rec.route));
+  doc.set("status", util::JsonValue::number(rec.status));
+  doc.set("key", util::JsonValue::string(
+                     rec.key_digest != 0 ? hex64(rec.key_digest) : ""));
+  doc.set("served", util::JsonValue::string(rec.served));
+  doc.set("provenance", util::JsonValue::string(rec.provenance));
+  doc.set("deadline_class", util::JsonValue::string(rec.deadline_class));
+  doc.set("reason", util::JsonValue::string(rec.reason));
+  doc.set("queue_ms", util::JsonValue::number(round_ms(rec.queue_ms)));
+  doc.set("handle_ms", util::JsonValue::number(round_ms(rec.handle_ms)));
+  doc.set("search_ms", util::JsonValue::number(round_ms(rec.search_ms)));
+  return doc.dump();
+}
+
+AccessLogger::AccessLogger(const std::string& path,
+                           std::uint64_t sample_every)
+    : sample_every_(sample_every == 0 ? 1 : sample_every) {
+  if (path == "-") {
+    f_ = stdout;
+    owns_file_ = false;
+  } else {
+    f_ = std::fopen(path.c_str(), "a");
+    owns_file_ = f_ != nullptr;
+  }
+}
+
+AccessLogger::~AccessLogger() {
+  if (f_ != nullptr && owns_file_) std::fclose(f_);
+}
+
+bool AccessLogger::log(const FlightRecord& rec) {
+  if (f_ == nullptr) return false;
+  if (!rec.sampled) return false;
+  const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  if (n % sample_every_ != 0) return false;
+  const std::int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const std::string line = access_log_line(rec, ts_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fwrite(line.data(), 1, line.size(), f_);
+    std::fputc('\n', f_);
+    std::fflush(f_);
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace tap::obs

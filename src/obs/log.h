@@ -1,0 +1,68 @@
+// tap::obs — structured JSON access logging for the serving tier
+// (ISSUE 9). One line per admitted request, machine-parseable, append
+// mode, wired into `tap_serve --access-log FILE`.
+//
+// The logger reuses FlightRecord as its payload, so the access log and
+// the flight recorder can never disagree about a request. Admission is
+// two-stage: the request must be sampled (the traceparent flag — a
+// client sending flags 00 opts its requests out), then a deterministic
+// 1-in-N counter (`sample_every`) thins high-volume tiers.
+//
+// The log line is the ONLY place in the serving tier wall-clock time is
+// written next to a trace id ("ts_ms", unix milliseconds) — plan bytes,
+// report bytes, and wire JSON stay a pure function of the PlanKey
+// (ISSUE 9's determinism boundary; see DESIGN.md §14).
+//
+// Writes are serialized under a mutex and flushed per line: the drain
+// path and crash forensics both want complete lines over throughput,
+// and sampling already bounds the write rate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/flight_recorder.h"
+
+namespace tap::obs {
+
+class AccessLogger {
+ public:
+  /// Opens `path` in append mode ("-" writes to stdout). `sample_every`
+  /// admits every N-th sampled request (1 = all, 0 behaves as 1).
+  explicit AccessLogger(const std::string& path,
+                        std::uint64_t sample_every = 1);
+  ~AccessLogger();
+
+  AccessLogger(const AccessLogger&) = delete;
+  AccessLogger& operator=(const AccessLogger&) = delete;
+
+  /// False when the path could not be opened (the caller decides whether
+  /// that is fatal; tap_serve treats it as a startup error).
+  bool ok() const { return f_ != nullptr; }
+
+  /// Writes one JSON line for `rec` if it passes sampling. Returns
+  /// whether a line was written. Thread-safe.
+  bool log(const FlightRecord& rec);
+
+  /// Lines actually written (for the drain summary).
+  std::uint64_t lines() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool owns_file_ = false;
+  std::uint64_t sample_every_ = 1;
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> lines_{0};
+  std::mutex mu_;
+};
+
+/// The JSON line log() writes for `rec` (exposed for tests; no trailing
+/// newline). `ts_ms` is the caller-supplied wall timestamp.
+std::string access_log_line(const FlightRecord& rec, std::int64_t ts_ms);
+
+}  // namespace tap::obs

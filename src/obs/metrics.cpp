@@ -115,6 +115,63 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// A registered name split at the label bar: "a.b|k=v,k2=v2" ->
+/// {base: "tap_a_b", labels: {"k=\"v\"", "k2=\"v2\""}} — the base is
+/// sanitized like any name, label keys are sanitized (alnum + '_'),
+/// label values are emitted verbatim inside quotes with '"' and '\\'
+/// escaped.
+struct PromParts {
+  std::string base;
+  std::vector<std::string> labels;  ///< rendered `key="value"` pairs
+};
+
+PromParts prom_parts(const std::string& name) {
+  PromParts out;
+  const std::size_t bar = name.find('|');
+  out.base = prom_name(name.substr(0, bar));
+  if (bar == std::string::npos) return out;
+  std::string_view rest = std::string_view(name).substr(bar + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    std::string rendered;
+    for (char c : pair.substr(0, eq))
+      rendered.push_back(
+          std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+    rendered += "=\"";
+    if (eq != std::string_view::npos) {
+      for (char c : pair.substr(eq + 1)) {
+        if (c == '"' || c == '\\') rendered.push_back('\\');
+        rendered.push_back(c);
+      }
+    }
+    rendered += "\"";
+    out.labels.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+/// "{k=\"v\",...}" — with `extra` appended last (the histogram `le`
+/// slot); "" when there is nothing to brace.
+std::string label_block(const std::vector<std::string>& labels,
+                        const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  for (const std::string& l : labels) {
+    if (out.size() > 1) out += ",";
+    out += l;
+  }
+  if (!extra.empty()) {
+    if (out.size() > 1) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 Counter* MetricsRegistry::counter(std::string_view name) {
@@ -181,30 +238,51 @@ std::string MetricsRegistry::dump_json() const {
 std::string MetricsRegistry::dump_prometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
+  // Labeled variants of one family ("a|route=x", "a|route=y") sort right
+  // after their base in each map, so emitting `# TYPE` only when the
+  // sanitized base changes yields one TYPE line per family.
+  std::string last_base;
   for (const auto& [name, c] : counters_) {
-    const std::string n = prom_name(name);
-    os << "# TYPE " << n << " counter\n" << n << " " << c->value() << "\n";
+    const PromParts p = prom_parts(name);
+    if (p.base != last_base) {
+      os << "# TYPE " << p.base << " counter\n";
+      last_base = p.base;
+    }
+    os << p.base << label_block(p.labels) << " " << c->value() << "\n";
   }
+  last_base.clear();
   for (const auto& [name, g] : gauges_) {
-    const std::string n = prom_name(name);
-    os << "# TYPE " << n << " gauge\n"
-       << n << " " << json_number(g->value()) << "\n";
+    const PromParts p = prom_parts(name);
+    if (p.base != last_base) {
+      os << "# TYPE " << p.base << " gauge\n";
+      last_base = p.base;
+    }
+    os << p.base << label_block(p.labels) << " " << json_number(g->value())
+       << "\n";
   }
+  last_base.clear();
   for (const auto& [name, h] : histograms_) {
-    const std::string n = prom_name(name);
-    os << "# TYPE " << n << " histogram\n";
+    const PromParts p = prom_parts(name);
+    if (p.base != last_base) {
+      os << "# TYPE " << p.base << " histogram\n";
+      last_base = p.base;
+    }
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       cum += h->bucket_count(i);
-      os << n << "_bucket{le=\"";
+      std::string le = "le=\"";
       if (i < h->bounds().size())
-        os << json_number(h->bounds()[i]);
+        le += json_number(h->bounds()[i]);
       else
-        os << "+Inf";
-      os << "\"} " << cum << "\n";
+        le += "+Inf";
+      le += "\"";
+      os << p.base << "_bucket" << label_block(p.labels, le) << " " << cum
+         << "\n";
     }
-    os << n << "_sum " << json_number(h->sum()) << "\n"
-       << n << "_count " << h->count() << "\n";
+    os << p.base << "_sum" << label_block(p.labels) << " "
+       << json_number(h->sum()) << "\n"
+       << p.base << "_count" << label_block(p.labels) << " " << h->count()
+       << "\n";
   }
   return os.str();
 }

@@ -22,6 +22,16 @@
 //   cost.batches                counter, comm_cost_batch kernel passes
 //   cost.candidates_batched     counter, candidate lanes costed
 //
+// Labels (ISSUE 9): a name may carry Prometheus labels after a '|' —
+// "net.http.request_ms|route=plan" or "...|route=plan,shard=0". The
+// registry treats the whole string as the metric identity (each label
+// set is its own lock-free handle, registered once, cached by the call
+// site), and dump_prometheus() splits at the '|' to emit
+// tap_net_http_request_ms_bucket{route="plan",le="..."} with one
+// `# TYPE` line per family. dump_json() keys keep the full spelling.
+// Keep label sets small and closed (routes, deadline classes) —
+// cardinality is a registration mutex entry per combination.
+//
 // The process-wide registry is obs::registry(); subsystems cache handle
 // pointers (handles live as long as the registry, which is never
 // destroyed before exit). Tests instantiate their own MetricsRegistry.

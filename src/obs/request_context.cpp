@@ -1,0 +1,142 @@
+#include "obs/request_context.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/hash.h"
+
+namespace tap::obs {
+
+namespace {
+
+thread_local const RequestContext* t_current = nullptr;
+
+/// Per-process id stream: a seed mixed from the steady clock and a heap
+/// address at first use (so two processes started together diverge), then
+/// one splitmix64 step per id. Uniqueness within a process is guaranteed
+/// by the counter; across processes it is probabilistic, like any trace
+/// id scheme.
+std::uint64_t next_id() {
+  static const std::uint64_t seed = [] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    static int anchor = 0;
+    return util::splitmix64(
+        static_cast<std::uint64_t>(now.count()) ^
+        (reinterpret_cast<std::uintptr_t>(&anchor) << 16));
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = util::splitmix64(seed + n);
+  return id != 0 ? id : 1;  // 0 is the W3C invalid-id sentinel
+}
+
+void hex_append(std::string* out, std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out->push_back(kHex[(v >> shift) & 0xf]);
+}
+
+/// Parses exactly `n` lowercase hex chars (the W3C header is lowercase
+/// by spec; uppercase is malformed). Returns false on any other byte.
+bool parse_hex(std::string_view s, std::size_t pos, std::size_t n,
+               std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = s[pos + i];
+    std::uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string RequestContext::trace_hex() const {
+  std::string out;
+  out.reserve(32);
+  hex_append(&out, trace_hi);
+  hex_append(&out, trace_lo);
+  return out;
+}
+
+std::string RequestContext::span_hex() const {
+  std::string out;
+  out.reserve(16);
+  hex_append(&out, span_id);
+  return out;
+}
+
+RequestContext generate_request_context(bool sampled) {
+  RequestContext ctx;
+  ctx.trace_hi = next_id();
+  ctx.trace_lo = next_id();
+  ctx.span_id = next_id();
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+std::uint64_t next_span_id() { return next_id(); }
+
+bool parse_traceparent(std::string_view header, RequestContext* ctx) {
+  // Fixed layout: vv-tttttttttttttttttttttttttttttttt-pppppppppppppppp-ff
+  //               0  3                                36               53
+  constexpr std::size_t kLen = 55;
+  if (header.size() < kLen) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-')
+    return false;
+  std::uint64_t version = 0;
+  if (!parse_hex(header, 0, 2, &version)) return false;
+  if (version == 0xff) return false;  // forbidden by the spec
+  if (version == 0x00) {
+    // Version 00 is exactly 55 chars — trailing data is malformed.
+    if (header.size() != kLen) return false;
+  } else {
+    // Future versions: parse the 00-shaped prefix, ignore the rest, but
+    // any extra data must be dash-separated.
+    if (header.size() > kLen && header[kLen] != '-') return false;
+  }
+  std::uint64_t hi = 0, lo = 0, parent = 0, flags = 0;
+  if (!parse_hex(header, 3, 16, &hi) || !parse_hex(header, 19, 16, &lo) ||
+      !parse_hex(header, 36, 16, &parent) ||
+      !parse_hex(header, 53, 2, &flags)) {
+    return false;
+  }
+  if ((hi | lo) == 0 || parent == 0) return false;  // all-zero ids invalid
+  ctx->trace_hi = hi;
+  ctx->trace_lo = lo;
+  ctx->parent_span_id = parent;
+  ctx->span_id = 0;  // the receiving hop assigns its own
+  ctx->sampled = (flags & 0x01) != 0;
+  return true;
+}
+
+std::string format_traceparent(const RequestContext& ctx) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  hex_append(&out, ctx.trace_hi);
+  hex_append(&out, ctx.trace_lo);
+  out.push_back('-');
+  hex_append(&out, ctx.span_id);
+  out += ctx.sampled ? "-01" : "-00";
+  return out;
+}
+
+const RequestContext* current_request_context() { return t_current; }
+
+ScopedRequestContext::ScopedRequestContext(const RequestContext& ctx)
+    : ctx_(ctx), prev_(t_current) {
+  t_current = &ctx_;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { t_current = prev_; }
+
+}  // namespace tap::obs

@@ -1,0 +1,97 @@
+// tap::obs — request-scoped context propagation (ISSUE 9), the identity
+// half of the observability layer (metrics/trace are the measurement
+// half).
+//
+// A RequestContext names one serving-tier request end to end: a 128-bit
+// trace id shared by every hop (client, shard, planner pass), a 64-bit
+// span id per hop, the upstream hop's span id as the parent, a sampled
+// flag, and the request's deadline class. It travels between processes
+// as a W3C `traceparent` header (version 00):
+//
+//   00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// parse_traceparent is strict where the spec is strict (length, dash
+// positions, lowercase-hex-only fields, all-zero ids invalid, version ff
+// invalid) and lenient where it demands leniency (future versions parse
+// their 00-shaped prefix and ignore trailing data). A parse failure is
+// never an error to the caller: the serving tier falls back to a fresh
+// locally generated trace id, so hostile or truncated headers cost
+// nothing but the correlation they failed to carry.
+//
+// Within a process the current context rides a thread-local, installed
+// RAII-style by ScopedRequestContext: the HTTP handler installs the
+// parsed (or fresh) context, the PlannerService captures it into the
+// worker task that runs the search, and the pipeline's pass spans read
+// current_request_context() to tag trace ids onto TraceSession events —
+// no API threading through layers that do not care.
+//
+// Determinism boundary: trace ids exist ONLY in headers, trace events,
+// logs, and the flight recorder. Plan/report/wire JSON never contains
+// one (the serve-tier byte-identity tests pin this down).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tap::obs {
+
+struct RequestContext {
+  std::uint64_t trace_hi = 0;  ///< 128-bit trace id, high half
+  std::uint64_t trace_lo = 0;
+  /// This hop's span id (what WE put in the parent-id field when
+  /// forwarding). parse_traceparent leaves it 0 — the receiving hop
+  /// assigns its own via next_span_id().
+  std::uint64_t span_id = 0;
+  /// The upstream hop's span id (the header's parent-id field).
+  std::uint64_t parent_span_id = 0;
+  /// W3C trace-flags bit 0: the upstream asked for this request to be
+  /// recorded. Controls access-log admission, never the flight recorder.
+  bool sampled = true;
+  /// Serving deadline class ("none"/"tight"/"standard"/"relaxed", see
+  /// core::deadline_class_name). Always a static-storage string.
+  const char* deadline_class = "none";
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  std::string trace_hex() const;  ///< 32 lowercase hex chars
+  std::string span_hex() const;   ///< 16 lowercase hex chars
+};
+
+/// Fresh root context: unique 128-bit trace id and span id (splitmix64
+/// over a per-process seed + atomic counter — no wall clock involved).
+RequestContext generate_request_context(bool sampled = true);
+
+/// Fresh span id for a new hop inside an existing trace (never 0).
+std::uint64_t next_span_id();
+
+/// Parses a `traceparent` header value into `ctx` (trace id, parent span,
+/// sampled — span_id stays 0 for the caller to assign). Returns false on
+/// anything malformed; `ctx` is untouched on failure. Never throws.
+bool parse_traceparent(std::string_view header, RequestContext* ctx);
+
+/// The version-00 header spelling of `ctx`: its span_id becomes the
+/// parent-id field the next hop will see.
+std::string format_traceparent(const RequestContext& ctx);
+
+/// The context installed on this thread, or nullptr.
+const RequestContext* current_request_context();
+
+/// Installs a context as current_request_context() for the enclosing
+/// scope, restoring the previous one (nesting-safe) on destruction.
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(const RequestContext& ctx);
+  ~ScopedRequestContext();
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+  const RequestContext& context() const { return ctx_; }
+
+ private:
+  RequestContext ctx_;
+  const RequestContext* prev_;
+};
+
+}  // namespace tap::obs

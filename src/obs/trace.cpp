@@ -163,18 +163,21 @@ void TraceSession::add_complete(std::string name, std::string category,
   foreign_.push_back(std::move(e));
 }
 
-void TraceSession::instant(std::string name, std::string category) {
+void TraceSession::instant(std::string name, std::string category,
+                           std::map<std::string, std::string> args) {
   if (!active()) return;
   TraceEvent e;
   e.name = std::move(name);
   e.category = std::move(category);
   e.phase = TraceEvent::Phase::kInstant;
   e.start_us = now_us();
+  e.args = std::move(args);
   append(std::move(e));
 }
 
 void TraceSession::async_begin(std::string name, std::string category,
-                               std::uint64_t id) {
+                               std::uint64_t id,
+                               std::map<std::string, std::string> args) {
   if (!active()) return;
   TraceEvent e;
   e.name = std::move(name);
@@ -182,6 +185,7 @@ void TraceSession::async_begin(std::string name, std::string category,
   e.phase = TraceEvent::Phase::kAsyncBegin;
   e.start_us = now_us();
   e.id = id;
+  e.args = std::move(args);
   append(std::move(e));
 }
 
@@ -239,6 +243,11 @@ ScopedSpan::ScopedSpan(const std::string& name, const char* category)
   start_us_ = session_->now_us();
 }
 
+void ScopedSpan::arg(std::string key, std::string value) {
+  if (session_ == nullptr) return;
+  args_[std::move(key)] = std::move(value);
+}
+
 ScopedSpan::~ScopedSpan() {
   if (session_ == nullptr) return;
   TraceEvent e;
@@ -247,6 +256,7 @@ ScopedSpan::~ScopedSpan() {
   e.phase = TraceEvent::Phase::kComplete;
   e.start_us = start_us_;
   e.dur_us = session_->now_us() - start_us_;
+  e.args = std::move(args_);
   session_->append(std::move(e));
 }
 

@@ -109,11 +109,15 @@ class TraceSession {
                     std::map<std::string, std::string> args = {});
 
   /// Point event on the calling thread's lane. No-op unless active.
-  void instant(std::string name, std::string category);
+  /// `args` land in the event's Perfetto-visible args object (e.g. a
+  /// request's trace id).
+  void instant(std::string name, std::string category,
+               std::map<std::string, std::string> args = {});
 
   /// Explicit begin/end for work that crosses threads; `id` pairs them.
   /// No-op unless active.
-  void async_begin(std::string name, std::string category, std::uint64_t id);
+  void async_begin(std::string name, std::string category, std::uint64_t id,
+                   std::map<std::string, std::string> args = {});
   void async_end(std::string name, std::string category, std::uint64_t id);
 
   /// Merged snapshot of every thread's buffer (stable order: thread
@@ -159,11 +163,17 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// Attaches a key/value to the span's args (request trace ids, byte
+  /// counts, ...). No-op — not even a string copy — when the span opened
+  /// with no active session.
+  void arg(std::string key, std::string value);
+
  private:
   TraceSession* session_;  ///< captured once; null = disabled span
   std::string name_;
   const char* category_ = nullptr;
   double start_us_ = 0.0;
+  std::map<std::string, std::string> args_;
 };
 
 }  // namespace tap::obs

@@ -331,11 +331,14 @@ void PlanCache::disk_insert(const PlanKey& key,
 }
 
 std::optional<core::PlanRecord> PlanCache::lookup(const PlanKey& key,
-                                                  const ir::TapGraph& tg) {
+                                                  const ir::TapGraph& tg,
+                                                  Tier* tier) {
+  if (tier != nullptr) *tier = Tier::kMiss;
   if (auto hit = memory_lookup(key)) {
     cache_metrics().mem_hits->add(1);
     if (obs::TraceSession* s = obs::active_session())
       s->instant("cache.mem.hit", "cache");
+    if (tier != nullptr) *tier = Tier::kMemory;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.memory_hits;
     return hit;
@@ -349,6 +352,7 @@ std::optional<core::PlanRecord> PlanCache::lookup(const PlanKey& key,
   }
   if (auto hit = disk_lookup(key, tg)) {
     memory_insert(key, *hit);
+    if (tier != nullptr) *tier = Tier::kDisk;
     return hit;
   }
   return std::nullopt;

@@ -94,10 +94,16 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
+  /// Which tier answered a lookup (request-telemetry breadcrumb; the
+  /// aggregate counts stay in PlanCacheStats).
+  enum class Tier : std::uint8_t { kMiss, kMemory, kDisk };
+
   /// Memory tier first, then disk. `tg` validates a disk payload against
-  /// the requesting graph. A disk hit is promoted to memory.
+  /// the requesting graph. A disk hit is promoted to memory. `tier`
+  /// (optional) reports which tier answered.
   std::optional<core::PlanRecord> lookup(const PlanKey& key,
-                                         const ir::TapGraph& tg);
+                                         const ir::TapGraph& tg,
+                                         Tier* tier = nullptr);
 
   /// Inserts into the memory tier and (when configured) writes the disk
   /// file atomically.

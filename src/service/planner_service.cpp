@@ -1,10 +1,13 @@
 #include "service/planner_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "baselines/expert_plans.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "sharding/routing.h"
 #include "util/check.h"
@@ -40,6 +43,26 @@ ServiceMetrics& service_metrics() {
 }
 
 }  // namespace
+
+const char* served_name(PlanTelemetry::Served served) {
+  switch (served) {
+    case PlanTelemetry::Served::kSearched:
+      return "searched";
+    case PlanTelemetry::Served::kMemoryHit:
+      return "memory";
+    case PlanTelemetry::Served::kDiskHit:
+      return "disk";
+    case PlanTelemetry::Served::kCoalesced:
+      return "coalesced";
+    case PlanTelemetry::Served::kFallback:
+      return "fallback";
+    case PlanTelemetry::Served::kShed:
+      return "shed";
+    case PlanTelemetry::Served::kUnknown:
+      break;
+  }
+  return "-";
+}
 
 // ---------------------------------------------------------------------------
 // FamilyResultCache
@@ -276,7 +299,7 @@ core::TapResult PlannerService::fallback_result(const PlanRequest& req,
 }
 
 std::shared_future<core::TapResult> PlannerService::submit(
-    const PlanRequest& req) {
+    const PlanRequest& req, PlanTelemetry* telem) {
   const PlanKey key = key_for(req);
   service_metrics().requests->add(1);
 
@@ -285,6 +308,7 @@ std::shared_future<core::TapResult> PlannerService::submit(
   util::CancellationToken cancel = core::cancellation_for(req.opts);
 
   std::optional<core::PlanRecord> hit;
+  PlanCache::Tier tier = PlanCache::Tier::kMiss;
   auto prom = std::make_shared<std::promise<core::TapResult>>();
   std::shared_future<core::TapResult> fut;
   std::uint64_t search_seq = 0;
@@ -302,12 +326,18 @@ std::shared_future<core::TapResult> PlannerService::submit(
       service_metrics().coalesced->add(1);
       if (obs::TraceSession* s = obs::active_session())
         s->instant("service.coalesced", "service");
+      if (telem != nullptr) telem->served = PlanTelemetry::Served::kCoalesced;
       return it->second;
     }
-    hit = cache_.lookup(key, *req.tg);
+    hit = cache_.lookup(key, *req.tg, &tier);
     if (hit) {
       ++stats_.cache_hits;
       service_metrics().cache_hits->add(1);
+      if (telem != nullptr) {
+        telem->served = tier == PlanCache::Tier::kDisk
+                            ? PlanTelemetry::Served::kDiskHit
+                            : PlanTelemetry::Served::kMemoryHit;
+      }
     } else {
       // Load shedding happens last: only a request that would START a new
       // search is shed — coalesced duplicates and cache hits cost almost
@@ -315,12 +345,17 @@ std::shared_future<core::TapResult> PlannerService::submit(
       if (opts_.max_pending > 0 && inflight_.size() >= opts_.max_pending) {
         ++stats_.shed;
         service_metrics().shed->add(1);
+        if (telem != nullptr) {
+          telem->served = PlanTelemetry::Served::kShed;
+          telem->reason = "overloaded";
+        }
         throw OverloadedError(inflight_.size());
       }
       fut = prom->get_future().share();
       inflight_.emplace(key, fut);
       search_seq = ++stats_.searches;
       service_metrics().searches->add(1);
+      if (telem != nullptr) telem->served = PlanTelemetry::Served::kSearched;
     }
   }
 
@@ -332,13 +367,30 @@ std::shared_future<core::TapResult> PlannerService::submit(
     return prom->get_future().share();
   }
 
+  // The submitting thread's request context (if a handler installed one)
+  // is captured BY VALUE and re-installed on the pool thread, so pipeline
+  // pass spans executed there still tag the originating trace id. The
+  // context carries serving metadata only — never plan bytes.
+  const obs::RequestContext* rc = obs::current_request_context();
+  const bool has_ctx = rc != nullptr;
+  const obs::RequestContext rctx = has_ctx ? *rc : obs::RequestContext{};
+
   // The request may complete on another pool thread, so it is traced as
   // an explicit async span keyed by its search sequence number.
-  if (obs::TraceSession* s = obs::active_session())
-    s->async_begin("service.search", "service", search_seq);
+  if (obs::TraceSession* s = obs::active_session()) {
+    if (has_ctx && rctx.sampled) {
+      s->async_begin("service.search", "service", search_seq,
+                     {{"trace", rctx.trace_hex()}});
+    } else {
+      s->async_begin("service.search", "service", search_seq);
+    }
+  }
 
   PlanRequest task_req = req;
-  pool_.submit([this, key, task_req, prom, search_seq, cancel] {
+  pool_.submit([this, key, task_req, prom, search_seq, cancel, has_ctx,
+                rctx] {
+    std::optional<obs::ScopedRequestContext> rscope;
+    if (has_ctx) rscope.emplace(rctx);
     const bool traced = obs::tracing_enabled();
     const double t_start_us = traced ? obs::steady_now_us() : 0.0;
     try {
@@ -378,25 +430,57 @@ std::shared_future<core::TapResult> PlannerService::submit(
   return fut;
 }
 
-core::TapResult PlannerService::plan(const PlanRequest& req) {
+core::TapResult PlannerService::plan(const PlanRequest& req,
+                                     PlanTelemetry* telem) {
+  // Timing in the blocking wrapper only: submit()'s future may resolve on
+  // another thread at any time, so the synchronous caller is the one
+  // place a queue/search split can be measured without racing. search_ms
+  // is the result's own search_seconds (zero for hits — materialization
+  // is queue time); queue_ms is whatever wall time remains.
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto finish = [&](const core::TapResult& result) {
+    if (telem == nullptr) return;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t_start)
+            .count();
+    telem->search_ms = telem->served == PlanTelemetry::Served::kSearched
+                           ? result.search_seconds * 1e3
+                           : 0.0;
+    telem->queue_ms = std::max(0.0, wall_ms - telem->search_ms);
+  };
+
   // Without a deadline plan() is a plain blocking wrapper: search errors
   // propagate to the caller (tests rely on this; there is no silent
   // degradation unless the caller opted into a latency budget).
-  if (req.opts.deadline_ms <= 0) return submit(req).get();
+  if (req.opts.deadline_ms <= 0) {
+    core::TapResult r = submit(req, telem).get();
+    finish(r);
+    return r;
+  }
 
   const auto count_deadline_hit = [this] {
     service_metrics().deadline_hit->add(1);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.deadline_hits;
   };
+  const auto fall_back = [&](const std::string& reason) {
+    if (telem != nullptr) {
+      telem->served = PlanTelemetry::Served::kFallback;
+      telem->reason = reason;
+    }
+    core::TapResult r = fallback_result(req, reason);
+    finish(r);
+    return r;
+  };
 
   std::shared_future<core::TapResult> fut;
   try {
-    fut = submit(req);
+    fut = submit(req, telem);
   } catch (const OverloadedError&) {
     // A deadlined plan() never throws: shedding degrades to the expert
     // fallback (submit already counted service.shed).
-    return fallback_result(req, "overloaded");
+    return fall_back("overloaded");
   }
 
   // The search polls the deadline cooperatively, so a deadlined result
@@ -409,25 +493,26 @@ core::TapResult PlannerService::plan(const PlanRequest& req) {
   const auto grace = budget + budget / 2 + std::chrono::milliseconds(50);
   if (fut.wait_for(grace) != std::future_status::ready) {
     count_deadline_hit();
-    core::TapResult r = fallback_result(req, "deadline");
+    core::TapResult r = fall_back("deadline");
     r.provenance.deadline_hit = true;
     return r;
   }
   try {
     core::TapResult r = fut.get();
     if (r.provenance.deadline_hit) count_deadline_hit();
+    finish(r);
     return r;
   } catch (const util::CancelledError&) {
     // Cancelled before ANY factorization finished: nothing anytime to
     // return, so degrade.
     count_deadline_hit();
-    core::TapResult r = fallback_result(req, "deadline");
+    core::TapResult r = fall_back("deadline");
     r.provenance.deadline_hit = true;
     return r;
   } catch (const std::exception& e) {
-    return fallback_result(req, e.what());
+    return fall_back(e.what());
   } catch (...) {
-    return fallback_result(req, "search failed");
+    return fall_back("search failed");
   }
 }
 

@@ -84,6 +84,36 @@ struct PlanRequest {
   bool sweep_mesh = false;
 };
 
+/// Per-request serving telemetry, filled by submit()/plan() when the
+/// caller passes one. Everything here is serving METADATA — it feeds the
+/// flight recorder, access log, and latency histograms, never the plan
+/// bytes (the determinism contract of service/wire.h).
+struct PlanTelemetry {
+  enum class Served : std::uint8_t {
+    kUnknown = 0,
+    kSearched,   ///< a fresh planner search ran for this key
+    kMemoryHit,  ///< answered by the PlanCache memory tier
+    kDiskHit,    ///< answered by the PlanCache disk tier (promoted)
+    kCoalesced,  ///< joined an in-flight search for the same key
+    kFallback,   ///< degraded to the expert-baseline fallback plan
+    kShed,       ///< rejected by load shedding (OverloadedError)
+  };
+  Served served = Served::kUnknown;
+  /// plan() only: wall time spent waiting that was NOT the search itself
+  /// (queueing behind other requests, coalesced waits). submit() leaves
+  /// these zero — the async caller owns its own clock.
+  double queue_ms = 0.0;
+  /// plan() only: the search's own duration (result.search_seconds).
+  double search_ms = 0.0;
+  /// Fallback/shed reason ("deadline", "overloaded", an error message).
+  std::string reason;
+};
+
+/// Static-storage label of a Served kind ("searched", "memory", "disk",
+/// "coalesced", "fallback", "shed", "-"). Safe to hold by pointer in POD
+/// records.
+const char* served_name(PlanTelemetry::Served served);
+
 struct ServiceStats {
   std::uint64_t requests = 0;
   /// Full planner searches actually executed (== distinct keys submitted).
@@ -240,7 +270,11 @@ class PlannerService {
   /// Throws OverloadedError when max_pending is set and exceeded. The
   /// request's deadline clock (opts.deadline_ms) starts HERE, so time
   /// spent queued behind other searches counts against the budget.
-  std::shared_future<core::TapResult> submit(const PlanRequest& req);
+  /// `telem` (optional) receives the serving kind (coalesced / memory /
+  /// disk / searched), decided synchronously before this returns; its
+  /// timing fields stay zero — only the blocking plan() owns a clock.
+  std::shared_future<core::TapResult> submit(const PlanRequest& req,
+                                             PlanTelemetry* telem = nullptr);
 
   /// Blocking wrapper. Without a deadline (opts.deadline_ms <= 0) this is
   /// submit().get() — exceptions propagate. WITH a deadline it is the
@@ -249,7 +283,11 @@ class PlannerService {
   /// an overrun or failed search degrades to the expert-baseline fallback
   /// plan, marked in TapResult::provenance and counted in
   /// ServiceStats::deadline_hits / fallbacks.
-  core::TapResult plan(const PlanRequest& req);
+  /// `telem` (optional) additionally receives queue_ms / search_ms and the
+  /// fallback reason — the per-request breakdown the serving tier's flight
+  /// recorder and access log report.
+  core::TapResult plan(const PlanRequest& req,
+                       PlanTelemetry* telem = nullptr);
 
   /// Plans `req` (through the normal submit path: coalesced / cached) and
   /// returns its explainability report. Reports are deterministic

@@ -13,11 +13,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <optional>
 
 #include "ir/lowering.h"
 #include "models/models.h"
@@ -25,9 +28,12 @@
 #include "net/plan_client.h"
 #include "net/plan_handler.h"
 #include "net/shard_scheme.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 #include "service/planner_service.h"
 #include "service/wire.h"
 #include "util/hash.h"
+#include "util/json.h"
 
 namespace tap::net {
 namespace {
@@ -641,6 +647,335 @@ TEST(PlanEndToEnd, HandlerRoutesAndErrors) {
   req.target = "/plan";
   req.body = "{\"model\":\"vgg\"}";
   EXPECT_EQ(handler.handle(req).status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Traceparent propagation (ISSUE 9): strict parse, graceful rejection
+// ---------------------------------------------------------------------------
+
+TEST(Traceparent, FormatParseRoundTrip) {
+  const obs::RequestContext ctx = obs::generate_request_context();
+  const std::string header = obs::format_traceparent(ctx);
+  ASSERT_EQ(header.size(), 55u);
+  obs::RequestContext parsed;
+  ASSERT_TRUE(obs::parse_traceparent(header, &parsed));
+  EXPECT_EQ(parsed.trace_hi, ctx.trace_hi);
+  EXPECT_EQ(parsed.trace_lo, ctx.trace_lo);
+  // This hop's span id is the next hop's parent; the receiver assigns its
+  // own span id later.
+  EXPECT_EQ(parsed.parent_span_id, ctx.span_id);
+  EXPECT_EQ(parsed.span_id, 0u);
+  EXPECT_TRUE(parsed.sampled);
+
+  const obs::RequestContext unsampled =
+      obs::generate_request_context(/*sampled=*/false);
+  obs::RequestContext p2;
+  ASSERT_TRUE(
+      obs::parse_traceparent(obs::format_traceparent(unsampled), &p2));
+  EXPECT_FALSE(p2.sampled);
+}
+
+TEST(Traceparent, GeneratedContextsAreUniqueAndValid) {
+  std::string last_trace;
+  for (int i = 0; i < 64; ++i) {
+    const obs::RequestContext ctx = obs::generate_request_context();
+    EXPECT_TRUE(ctx.valid());
+    EXPECT_NE(ctx.span_id, 0u);
+    const std::string hex = ctx.trace_hex();
+    EXPECT_EQ(hex.size(), 32u);
+    EXPECT_NE(hex, last_trace);
+    last_trace = hex;
+  }
+}
+
+TEST(Traceparent, RejectsMalformedHeaders) {
+  const char* bad[] = {
+      "",
+      "00",
+      // Truncated (no flags field).
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+      // Version 00 must be exactly 55 chars.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-011",
+      // All-zero trace id / parent id are invalid per spec.
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+      // Version ff is forbidden.
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // Uppercase hex is not valid traceparent.
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+      // Dashes in the wrong places.
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",
+      // Non-hex bytes in each field.
+      "0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",
+  };
+  for (const char* h : bad) {
+    obs::RequestContext ctx;
+    ctx.trace_hi = 7;  // sentinel: a failed parse must leave ctx untouched
+    EXPECT_FALSE(obs::parse_traceparent(h, &ctx)) << h;
+    EXPECT_EQ(ctx.trace_hi, 7u) << h;
+  }
+  // Future versions: the version-00-shaped prefix parses; anything after
+  // it must start with a dash.
+  obs::RequestContext ctx;
+  EXPECT_TRUE(obs::parse_traceparent(
+      "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &ctx));
+  EXPECT_TRUE(obs::parse_traceparent(
+      "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+      &ctx));
+  EXPECT_FALSE(obs::parse_traceparent(
+      "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01extra",
+      &ctx));
+}
+
+TEST(Traceparent, TruncationAndCorruptionFuzzNeverCrash) {
+  const std::string valid =
+      obs::format_traceparent(obs::generate_request_context());
+  ASSERT_EQ(valid.size(), 55u);
+
+  // Every strict prefix is malformed and must be rejected cleanly.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    obs::RequestContext ctx;
+    EXPECT_FALSE(obs::parse_traceparent(valid.substr(0, len), &ctx))
+        << "prefix length " << len;
+  }
+  // Byte-at-a-time corruption at every position: some mutations stay
+  // valid hex (parse succeeds), the rest must fail — either way the
+  // parser returns, never crashes or reads out of bounds (ASan's half).
+  std::uint64_t state = 99;
+  for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+    for (int round = 0; round < 8; ++round) {
+      std::string mutated = valid;
+      state = util::splitmix64(state);
+      mutated[pos] = static_cast<char>(state & 0xff);
+      obs::RequestContext ctx;
+      (void)obs::parse_traceparent(mutated, &ctx);
+    }
+  }
+  // Pseudo-random garbage at every length, like the HttpParser sweep.
+  for (int len = 0; len < 160; ++len) {
+    std::string raw(static_cast<std::size_t>(len), '\0');
+    for (char& c : raw) {
+      state = util::splitmix64(state);
+      c = static_cast<char>(state & 0xff);
+    }
+    obs::RequestContext ctx;
+    (void)obs::parse_traceparent(raw, &ctx);
+  }
+}
+
+TEST(Traceparent, HandlerFallsBackToFreshTraceOnBadHeader) {
+  service::PlannerService svc;
+  PlanHandler handler(&svc, {});
+  HttpMessage req;
+  req.method = "GET";
+  req.target = "/healthz";
+  req.set_header("traceparent", "garbage-not-a-traceparent");
+  HttpMessage resp = handler.handle(req);
+  EXPECT_EQ(resp.status, 200);
+  // The response still carries a well-formed, freshly generated header.
+  const std::string* echo = resp.find_header("traceparent");
+  ASSERT_NE(echo, nullptr);
+  obs::RequestContext parsed;
+  EXPECT_TRUE(obs::parse_traceparent(*echo, &parsed));
+  EXPECT_TRUE(parsed.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder + healthz + trace correlation end to end (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+TEST(PlanEndToEnd, HealthzHasIdentityBody) {
+  service::PlannerService svc;
+  PlanHandlerOptions hopts;
+  hopts.num_shards = 3;
+  hopts.shard_id = 1;
+  PlanHandler handler(&svc, hopts);
+  HttpMessage req;
+  req.method = "GET";
+  req.target = "/healthz";
+  HttpMessage resp = handler.handle(req);
+  ASSERT_EQ(resp.status, 200);
+  const util::JsonValue doc = util::JsonValue::parse(resp.body);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_EQ(doc.at("shard").as_int(), 1);
+  EXPECT_EQ(doc.at("shards").as_int(), 3);
+  EXPECT_EQ(doc.at("version").as_string(), kServeVersion);
+  EXPECT_EQ(doc.at("plan_response_version").as_int(),
+            service::kPlanResponseVersion);
+  EXPECT_GE(doc.at("uptime_s").as_number(), 0.0);
+  EXPECT_GE(doc.at("requests").as_int(), 0);
+  // The scheme fingerprint matches the handler's ShardScheme, hex-spelled.
+  const std::string scheme_hex = doc.at("scheme").as_string();
+  EXPECT_EQ(scheme_hex.size(), 16u);
+  char expect[17];
+  std::snprintf(expect, sizeof expect, "%016llx",
+                static_cast<unsigned long long>(
+                    handler.scheme().fingerprint()));
+  EXPECT_EQ(scheme_hex, expect);
+  // A different layout reports a different fingerprint.
+  service::PlannerService svc2;
+  PlanHandler other(&svc2, {});
+  EXPECT_NE(other.scheme().fingerprint(), handler.scheme().fingerprint());
+}
+
+TEST(PlanEndToEnd, TraceIdEchoedAndInFlightRing) {
+  service::PlannerService svc;
+  PlanHandler handler(&svc, {});
+  const std::string trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  HttpMessage post;
+  post.method = "POST";
+  post.target = "/plan";
+  post.body = service::model_spec_to_json(small_spec());
+  post.set_header("traceparent",
+                  "00-" + trace_id + "-00f067aa0ba902b7-01");
+  HttpMessage resp = handler.handle(post);
+  ASSERT_EQ(resp.status, 200);
+  // The response echoes the SAME trace id (with this hop's span id).
+  const std::string* echo = resp.find_header("traceparent");
+  ASSERT_NE(echo, nullptr);
+  EXPECT_NE(echo->find(trace_id), std::string::npos);
+  // And the trace id never leaks into the plan bytes.
+  EXPECT_EQ(resp.body.find(trace_id), std::string::npos);
+
+  // The ring has the request, fully attributed.
+  const std::vector<obs::FlightRecord> recs = handler.recorder().snapshot(8);
+  ASSERT_FALSE(recs.empty());
+  const obs::FlightRecord& rec = recs.front();
+  EXPECT_EQ(rec.trace_hi, 0x4bf92f3577b34da6ull);
+  EXPECT_EQ(rec.trace_lo, 0xa3ce929d0e0e4736ull);
+  EXPECT_STREQ(rec.route, "plan");
+  EXPECT_EQ(rec.status, 200);
+  EXPECT_STREQ(rec.served, "searched");
+  EXPECT_STREQ(rec.provenance, "complete");
+  EXPECT_STREQ(rec.deadline_class, "none");
+  EXPECT_NE(rec.key_digest, 0u);
+  EXPECT_TRUE(rec.sampled);
+
+  // GET /debug/requests returns the same story as JSON — and is itself
+  // never recorded (no self-pollution).
+  HttpMessage dbg;
+  dbg.method = "GET";
+  dbg.target = "/debug/requests?n=8";
+  HttpMessage dresp = handler.handle(dbg);
+  ASSERT_EQ(dresp.status, 200);
+  EXPECT_NE(dresp.body.find(trace_id), std::string::npos);
+  const util::JsonValue doc = util::JsonValue::parse(dresp.body);
+  bool found = false;
+  for (const util::JsonValue& r : doc.at("requests").items()) {
+    if (r.at("trace").as_string() == trace_id) {
+      found = true;
+      EXPECT_EQ(r.at("route").as_string(), "plan");
+      EXPECT_EQ(r.at("status").as_int(), 200);
+      EXPECT_EQ(r.at("served").as_string(), "searched");
+    }
+    EXPECT_NE(r.at("route").as_string(), "debug_requests");
+  }
+  EXPECT_TRUE(found);
+
+  // A repeat of the same spec under a new trace serves from cache and the
+  // ring says so.
+  post.set_header("traceparent",
+                  "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab-00f067aa0ba902b7"
+                  "-01");
+  ASSERT_EQ(handler.handle(post).status, 200);
+  const std::vector<obs::FlightRecord> recs2 =
+      handler.recorder().snapshot(1);
+  ASSERT_FALSE(recs2.empty());
+  EXPECT_STREQ(recs2.front().served, "memory");
+}
+
+TEST(PlanEndToEnd, ChromeTraceCorrelatesClientServerPipeline) {
+  service::PlannerService svc;
+  PlanHandler handler(&svc, {});
+  HttpServer server(
+      [&handler](const HttpMessage& r) { return handler.handle(r); }, {});
+  server.start();
+
+  obs::TraceSession session;
+  session.start();
+  std::string trace_hex;
+  {
+    // The CLI's serve path in miniature: root the trace on the client
+    // thread, let PlanClient forward it as a traceparent header.
+    const obs::RequestContext rctx = obs::generate_request_context();
+    trace_hex = rctx.trace_hex();
+    obs::ScopedRequestContext scope(rctx);
+
+    service::ModelSpec spec = small_spec();
+    spec.layers = 3;  // fresh key: forces a real search through the pipeline
+    Graph g = service::build_spec_model(spec);
+    ir::TapGraph tg = ir::lower(g);
+    const service::PlanKey key = service::make_plan_key(
+        tg, service::options_for_spec(spec, 1), spec.sweep());
+    PlanClient client(
+        {"http://127.0.0.1:" + std::to_string(server.bound_port())});
+    HttpMessage resp =
+        client.post_plan(key, service::model_spec_to_json(spec));
+    ASSERT_EQ(resp.status, 200);
+    const std::string* echo = resp.find_header("traceparent");
+    ASSERT_NE(echo, nullptr);
+    EXPECT_NE(echo->find(trace_hex), std::string::npos);
+  }
+  server.stop();  // join workers before reading the session
+  session.stop();
+
+  // ONE trace id correlates the client hop and the planner's pass spans
+  // executed on the server's pool threads — the acceptance criterion.
+  bool client_span = false, pass_span = false;
+  for (const obs::TraceEvent& e : session.events()) {
+    const auto it = e.args.find("trace");
+    if (it == e.args.end() || it->second != trace_hex) continue;
+    if (e.name == "net.client.request") client_span = true;
+    if (e.category == "planner.pass") pass_span = true;
+  }
+  EXPECT_TRUE(client_span);
+  EXPECT_TRUE(pass_span);
+  EXPECT_NE(session.to_chrome_json().find(trace_hex), std::string::npos);
+}
+
+TEST(Wire, PlanBytesUnchangedByTracing) {
+  // The determinism boundary: plan-response bytes are a pure function of
+  // the PlanKey — identical with tracing off, on-and-sampled, and
+  // on-but-unsampled, at 1 and 4 search threads.
+  for (const int threads : {1, 4}) {
+    for (const int layers : {2, 3}) {
+      service::ModelSpec spec = small_spec();
+      spec.layers = layers;
+      Graph g = service::build_spec_model(spec);
+      ir::TapGraph tg = ir::lower(g);
+      const core::TapOptions opts =
+          service::options_for_spec(spec, threads);
+      const service::PlanRequest req{&tg, opts, spec.sweep()};
+
+      const auto run = [&](int mode) {
+        service::PlannerService fresh;  // no cross-mode cache reuse
+        const service::PlanKey key = fresh.key_for(req);
+        obs::TraceSession session;
+        std::optional<obs::ScopedRequestContext> scope;
+        if (mode > 0) {
+          session.start();
+          scope.emplace(
+              obs::generate_request_context(/*sampled=*/mode == 1));
+        }
+        std::string bytes =
+            service::plan_response_json(tg, key, fresh.plan(req));
+        scope.reset();
+        session.stop();
+        return bytes;
+      };
+      const std::string plain = run(0);
+      EXPECT_EQ(run(1), plain)
+          << "sampled tracing changed plan bytes (threads " << threads
+          << ", layers " << layers << ")";
+      EXPECT_EQ(run(2), plain)
+          << "unsampled tracing changed plan bytes (threads " << threads
+          << ", layers " << layers << ")";
+    }
+  }
 }
 
 }  // namespace

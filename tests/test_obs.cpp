@@ -8,15 +8,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tap.h"
 #include "ir/lowering.h"
 #include "models/models.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/request_context.h"
 #include "service/planner_service.h"
 #include "sim/trace.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -457,6 +466,267 @@ TEST(ObsTrace, ServiceRequestEmitsCacheAndServiceEvents) {
   EXPECT_TRUE(begin);
   EXPECT_TRUE(end);
   EXPECT_TRUE(pass) << "the search's pipeline spans share the timeline";
+}
+
+TEST(ObsTrace, SpanArgsLandInChromeJson) {
+  TraceSession session;
+  session.start();
+  {
+    ScopedSpan span("tagged.span", "test");
+    span.arg("trace", "deadbeefdeadbeefdeadbeefdeadbeef");
+  }
+  session.instant("tagged.instant", "test", {{"k", "v"}});
+  session.stop();
+  const std::string json = session.to_chrome_json();
+  EXPECT_NE(json.find("deadbeefdeadbeefdeadbeefdeadbeef"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\""), std::string::npos);
+  bool span_args = false;
+  for (const TraceEvent& e : session.events()) {
+    if (e.name == "tagged.span")
+      span_args = e.args.count("trace") == 1;
+  }
+  EXPECT_TRUE(span_args);
+}
+
+// ---------------------------------------------------------------------------
+// Request context (ISSUE 9) — thread-local install/restore semantics
+// (the traceparent wire format is covered in tests/test_net.cpp)
+// ---------------------------------------------------------------------------
+
+TEST(ObsRequestContext, ScopedInstallAndNestingRestore) {
+  EXPECT_EQ(current_request_context(), nullptr);
+  const RequestContext outer = generate_request_context();
+  {
+    ScopedRequestContext s1(outer);
+    ASSERT_NE(current_request_context(), nullptr);
+    EXPECT_EQ(current_request_context()->trace_hi, outer.trace_hi);
+    RequestContext inner = outer;
+    inner.span_id = next_span_id();
+    inner.deadline_class = "tight";
+    {
+      ScopedRequestContext s2(inner);
+      EXPECT_EQ(current_request_context()->span_id, inner.span_id);
+      EXPECT_STREQ(current_request_context()->deadline_class, "tight");
+    }
+    // Nesting restores the OUTER context, not null.
+    ASSERT_NE(current_request_context(), nullptr);
+    EXPECT_EQ(current_request_context()->span_id, outer.span_id);
+  }
+  EXPECT_EQ(current_request_context(), nullptr);
+}
+
+TEST(ObsRequestContext, ContextIsThreadLocal) {
+  const RequestContext ctx = generate_request_context();
+  ScopedRequestContext scope(ctx);
+  const RequestContext* seen = &ctx;  // anything non-null
+  std::thread other([&] { seen = current_request_context(); });
+  other.join();
+  EXPECT_EQ(seen, nullptr)
+      << "another thread must not inherit this thread's context";
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+FlightRecord record_with(std::uint64_t trace_lo, const char* route) {
+  FlightRecord rec;
+  rec.trace_hi = 0x1111111111111111ull;
+  rec.trace_lo = trace_lo;
+  rec.status = 200;
+  rec.sampled = true;
+  set_record_field(rec.route, sizeof rec.route, route);
+  set_record_field(rec.served, sizeof rec.served, "memory");
+  set_record_field(rec.provenance, sizeof rec.provenance, "complete");
+  set_record_field(rec.deadline_class, sizeof rec.deadline_class, "none");
+  return rec;
+}
+
+TEST(ObsFlightRecorder, RecordFieldTruncatesSafely) {
+  char buf[8];
+  set_record_field(buf, sizeof buf, "short");
+  EXPECT_STREQ(buf, "short");
+  set_record_field(buf, sizeof buf, "definitely-longer-than-eight");
+  EXPECT_EQ(std::string(buf).size(), 7u) << "always NUL-terminated";
+}
+
+TEST(ObsFlightRecorder, KeepsNewestAcrossWrap) {
+  FlightRecorder rec(/*capacity=*/8, /*slow_ms=*/100.0);
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    rec.record(record_with(i, "plan"));
+  EXPECT_EQ(rec.total(), 20u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<FlightRecord> snap = rec.snapshot(4);
+  ASSERT_EQ(snap.size(), 4u);
+  // Newest first, and only the newest survive the wrap.
+  EXPECT_EQ(snap[0].trace_lo, 20u);
+  EXPECT_EQ(snap[1].trace_lo, 19u);
+  EXPECT_EQ(snap[2].trace_lo, 18u);
+  EXPECT_EQ(snap[3].trace_lo, 17u);
+  // Asking for more than capacity returns at most capacity records.
+  EXPECT_LE(rec.snapshot(100).size(), 8u);
+}
+
+TEST(ObsFlightRecorder, DisabledRecordsNothing) {
+  FlightRecorder rec(8, 100.0);
+  rec.set_enabled(false);
+  rec.record(record_with(1, "plan"));
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_TRUE(rec.snapshot(8).empty());
+  rec.set_enabled(true);
+  rec.record(record_with(2, "plan"));
+  EXPECT_EQ(rec.total(), 1u);
+}
+
+TEST(ObsFlightRecorder, ConcurrentWritersAccountForEveryRecord) {
+  FlightRecorder rec(/*capacity=*/64, /*slow_ms=*/100.0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        rec.record(record_with(static_cast<std::uint64_t>(t), "plan"));
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every admission is either in the ring's history or counted dropped.
+  EXPECT_EQ(rec.total(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<FlightRecord> snap = rec.snapshot(64);
+  EXPECT_FALSE(snap.empty());
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_GT(snap[i - 1].seq, snap[i].seq) << "newest-first order";
+}
+
+TEST(ObsFlightRecorder, ToJsonParsesAndSpellsTraceIds) {
+  FlightRecorder rec(8, 123.5);
+  FlightRecord r = record_with(0x2222222222222222ull, "plan");
+  r.key_digest = 0xabcull;
+  r.queue_ms = 1.25f;
+  r.handle_ms = 200.0f;
+  r.search_ms = 150.0f;
+  r.span_count = 1;
+  set_record_field(r.spans[0].name, sizeof r.spans[0].name, "FamilySearch");
+  r.spans[0].ms = 149.5f;
+  rec.record(r);
+  rec.record(record_with(3, "healthz"));
+
+  const util::JsonValue doc = util::JsonValue::parse(rec.to_json(8));
+  EXPECT_EQ(doc.at("capacity").as_int(), 8);
+  EXPECT_DOUBLE_EQ(doc.at("slow_ms").as_number(), 123.5);
+  EXPECT_EQ(doc.at("total").as_int(), 2);
+  const auto& reqs = doc.at("requests").items();
+  ASSERT_EQ(reqs.size(), 2u);
+  // Newest first: the healthz record leads.
+  EXPECT_EQ(reqs[0].at("route").as_string(), "healthz");
+  const util::JsonValue& plan = reqs[1];
+  EXPECT_EQ(plan.at("trace").as_string(),
+            "11111111111111112222222222222222");
+  EXPECT_EQ(plan.at("key").as_string(), "0000000000000abc");
+  EXPECT_EQ(plan.at("served").as_string(), "memory");
+  ASSERT_EQ(plan.at("spans").items().size(), 1u);
+  EXPECT_EQ(plan.at("spans").items()[0].at("name").as_string(),
+            "FamilySearch");
+}
+
+// ---------------------------------------------------------------------------
+// Access log (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+TEST(ObsAccessLog, LineIsParseableJsonWithExpectedFields) {
+  FlightRecord rec = record_with(0x3333333333333333ull, "plan");
+  rec.queue_ms = 2.0f;
+  rec.handle_ms = 5.0f;
+  rec.search_ms = 3.0f;
+  set_record_field(rec.reason, sizeof rec.reason, "deadline");
+  const std::string line = access_log_line(rec, 1754000000123ll);
+  const util::JsonValue doc = util::JsonValue::parse(line);
+  EXPECT_EQ(doc.at("ts_ms").as_int(), 1754000000123ll);
+  EXPECT_EQ(doc.at("trace").as_string(),
+            "11111111111111113333333333333333");
+  EXPECT_EQ(doc.at("route").as_string(), "plan");
+  EXPECT_EQ(doc.at("status").as_int(), 200);
+  EXPECT_EQ(doc.at("served").as_string(), "memory");
+  EXPECT_EQ(doc.at("reason").as_string(), "deadline");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(ObsAccessLog, SamplingAdmitsSampledEveryNth) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("tap_obs_log_" +
+        std::to_string(
+            ::testing::UnitTest::GetInstance()->random_seed())))
+          .string();
+  fs::remove(path);
+  {
+    AccessLogger log(path, /*sample_every=*/2);
+    ASSERT_TRUE(log.ok());
+    FlightRecord rec = record_with(1, "plan");
+    rec.sampled = false;
+    EXPECT_FALSE(log.log(rec)) << "unsampled requests never log";
+    rec.sampled = true;
+    int written = 0;
+    for (int i = 0; i < 6; ++i) written += log.log(rec) ? 1 : 0;
+    EXPECT_EQ(written, 3) << "1-in-2 thinning";
+    EXPECT_EQ(log.lines(), 3u);
+  }
+  // Each written line parses as standalone JSON.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_NO_THROW(util::JsonValue::parse(line)) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus label rendering (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, PrometheusLabels) {
+  MetricsRegistry reg;
+  reg.counter("net.reqs")->add(1);
+  reg.counter("net.reqs|route=plan")->add(2);
+  reg.counter("net.reqs|route=explain,code=200")->add(3);
+  Histogram* h = reg.histogram("net.ms|route=plan",
+                               std::vector<double>{1.0});
+  h->observe(0.5);
+  const std::string text = reg.dump_prometheus();
+
+  EXPECT_NE(text.find("tap_net_reqs 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("tap_net_reqs{route=\"plan\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(
+                "tap_net_reqs{route=\"explain\",code=\"200\"} 3\n"),
+            std::string::npos);
+  // One # TYPE line covers the base family and its labeled variants.
+  std::size_t type_lines = 0, pos = 0;
+  while ((pos = text.find("# TYPE tap_net_reqs counter", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  // Histogram labels merge with the le= bucket label.
+  EXPECT_NE(text.find("tap_net_ms_bucket{route=\"plan\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tap_net_ms_bucket{route=\"plan\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tap_net_ms_sum{route=\"plan\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tap_net_ms_count{route=\"plan\"} 1\n"),
+            std::string::npos);
 }
 
 }  // namespace
