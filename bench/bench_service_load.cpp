@@ -19,8 +19,26 @@
 // legs (off, on, off, on, ...) and comparing best-of-N absorbs most
 // scheduler noise; a borderline result gets one retry with fresh legs
 // before the bench fails.
+// Chaos leg (ISSUE 10): `bench_service_load --chaos` switches to an
+// OPEN-LOOP arrival schedule against a replicated 2-shard fleet (two
+// replicas per slot), kills one whole shard (both replicas) mid-run under
+// injected network faults (net.accept / net.read.stall / net.write.reset
+// / net.respond.delay), restarts it, and gates on: zero client-visible
+// errors, every response byte-identical to its healthy-fleet reference
+// (failover-served included), nonzero client failovers, a p99 SLO
+// (TAP_CHAOS_P99_SLO_MS, default 1500), and the restarted shard serving
+// again. Latency is measured from each request's SCHEDULED arrival, so
+// backlog built while the fleet degrades counts against the SLO the way
+// it would for a real caller. Figures land in BENCH_service_chaos.json.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -29,8 +47,10 @@
 #include "net/http_server.h"
 #include "net/plan_client.h"
 #include "net/plan_handler.h"
+#include "obs/metrics.h"
 #include "service/planner_service.h"
 #include "service/wire.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -148,10 +168,325 @@ LoadResult run_load(net::HttpServer& server,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos leg (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+/// Default injected-network-fault mix for a local `--chaos` run; CI's
+/// chaos-smoke job overrides it via TAP_FAULT / TAP_FAULT_SEED (the
+/// env-installed injector wins — see the check in run_chaos).
+constexpr const char kDefaultChaosFaults[] =
+    "net.read.stall=delay:2:0.05,net.write.reset=fail:0.01,"
+    "net.respond.delay=delay:2:0.05,net.accept=fail:0.02";
+
+/// One in-process replica of one shard slot: its own PlannerService (so a
+/// restart comes back with a cold cache, like a real process restart),
+/// PlanHandler, and HttpServer. First start() binds an ephemeral port;
+/// restarts re-bind the same port (SO_REUSEADDR), which is what lets the
+/// client's persistent endpoints find the replica again.
+struct ShardReplica {
+  int shards = 1;
+  int shard_id = 0;
+  int port = 0;
+  std::unique_ptr<service::PlannerService> svc;
+  std::unique_ptr<net::PlanHandler> handler;
+  std::unique_ptr<net::HttpServer> server;
+
+  void start() {
+    svc = std::make_unique<service::PlannerService>();
+    net::PlanHandlerOptions hopts;
+    hopts.num_shards = shards;
+    hopts.shard_id = shard_id;
+    handler = std::make_unique<net::PlanHandler>(svc.get(), hopts);
+    net::HttpServerOptions sopts;
+    sopts.port = port;
+    sopts.connection_threads = 4;
+    net::PlanHandler* h = handler.get();
+    // Re-binding the fixed port can transiently collide with the old
+    // listener's teardown; a few retries absorb it.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        server = std::make_unique<net::HttpServer>(
+            [h](const net::HttpMessage& r) { return h->handle(r); }, sopts);
+        server->start();
+        break;
+      } catch (const std::exception&) {
+        server.reset();
+        if (attempt >= 20) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    port = server->bound_port();
+  }
+
+  void stop() {
+    if (server) server->stop();  // joins every worker: handler/svc now idle
+    server.reset();
+    handler.reset();
+    svc.reset();
+  }
+};
+
+int run_chaos() {
+  bench::header("Plan-serving fleet under chaos: shard kill + net faults",
+                "fleet fault tolerance (ISSUE 10)");
+
+  // Deterministic fault environment: honor an env-installed injector
+  // (CI's fixed TAP_FAULT seed) or install the default chaos mix.
+  std::unique_ptr<util::ScopedFaultInjector> fault;
+  if (util::fault_injector() == nullptr) {
+    fault = std::make_unique<util::ScopedFaultInjector>(kDefaultChaosFaults,
+                                                        /*seed=*/777);
+  }
+  util::FaultInjector* injector = util::fault_injector();
+  std::printf("faults: %s (seed %llu)\n", injector->spec().c_str(),
+              static_cast<unsigned long long>(injector->seed()));
+
+  const int kShards = 2;
+  const int kReplicas = 2;
+  std::vector<std::vector<ShardReplica>> fleet(
+      static_cast<std::size_t>(kShards));
+  std::vector<std::string> slot_urls;
+  for (int s = 0; s < kShards; ++s) {
+    std::string slot;
+    for (int r = 0; r < kReplicas; ++r) {
+      ShardReplica rep;
+      rep.shards = kShards;
+      rep.shard_id = s;
+      rep.start();
+      if (!slot.empty()) slot += "|";
+      slot += "http://127.0.0.1:" + std::to_string(rep.port);
+      fleet[static_cast<std::size_t>(s)].push_back(std::move(rep));
+    }
+    slot_urls.push_back(slot);
+    std::printf("shard %d: %s\n", s, slot.c_str());
+  }
+
+  net::ClientOptions copts;
+  copts.retries = 4;
+  copts.backoff_ms = 5.0;
+  copts.timeout_ms = 5000.0;
+  copts.breaker.failure_threshold = 2;
+  copts.breaker.cooldown_ms = 150.0;
+  net::PlanClient client(slot_urls, copts);
+
+  // Reference bytes per spec, collected while the fleet is healthy. The
+  // determinism contract says EVERY later answer — owner, backup replica,
+  // or non-owner failover — must match these byte for byte.
+  const std::vector<service::ModelSpec> mix = request_mix();
+  std::vector<std::string> bodies;
+  std::vector<service::PlanKey> keys;
+  std::vector<std::string> reference;
+  bool warm_ok = true;
+  for (const auto& spec : mix) {
+    const std::string body = service::model_spec_to_json(spec);
+    Graph g = service::build_spec_model(spec);
+    const ir::TapGraph tg = ir::lower(g);
+    const service::PlanKey key = service::make_plan_key(
+        tg, service::options_for_spec(spec, /*threads=*/1), spec.sweep());
+    net::HttpMessage resp = client.post_plan(key, body);
+    if (resp.status != 200) warm_ok = false;
+    bodies.push_back(body);
+    keys.push_back(key);
+    reference.push_back(resp.body);
+  }
+  if (!warm_ok) {
+    std::cerr << "FAIL: healthy-fleet warmup request failed\n";
+    return 1;
+  }
+
+  // Open-loop schedule: kTotal requests at a fixed inter-arrival, striped
+  // over kSenders threads. A sender that falls behind (the fleet is
+  // degraded) keeps the schedule — lateness shows up as latency.
+  const int kSenders = 4;
+  const int kTotal = 400;
+  const double kIntervalMs = 5.0;
+  const double kKillAtMs = 600.0;
+  const double kRestartAfterMs = 500.0;
+  double slo_ms = 1500.0;
+  if (const char* s = std::getenv("TAP_CHAOS_P99_SLO_MS")) {
+    const double v = std::atof(s);
+    if (v > 0) slo_ms = v;
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(kSenders));
+  std::atomic<int> errors{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failover_served{0};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> senders;
+  for (int c = 0; c < kSenders; ++c) {
+    senders.emplace_back([&, c] {
+      util::Rng rng(0xc4a05u + static_cast<std::uint64_t>(c));
+      Zipf zipf(bodies.size(), 1.2);
+      for (int i = c; i < kTotal; i += kSenders) {
+        const auto scheduled =
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         i * kIntervalMs));
+        std::this_thread::sleep_until(scheduled);
+        const std::size_t pick = zipf.sample(rng);
+        try {
+          net::HttpMessage resp = client.post_plan(keys[pick], bodies[pick]);
+          if (resp.status != 200) {
+            errors.fetch_add(1);
+          } else {
+            if (resp.body != reference[pick]) mismatches.fetch_add(1);
+            const std::string* served = resp.find_header("x-tap-served");
+            if (served != nullptr && *served == "failover")
+              failover_served.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          errors.fetch_add(1);
+        }
+        latencies[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - scheduled)
+                .count());
+      }
+    });
+  }
+
+  // The chaos thread: kill shard 0 outright (BOTH replicas — the client
+  // must fall back to the non-owner degraded path), then restart it.
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(kKillAtMs));
+    std::printf("chaos: killing shard 0 (both replicas)\n");
+    std::fflush(stdout);
+    for (ShardReplica& rep : fleet[0]) rep.stop();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(kRestartAfterMs));
+    for (ShardReplica& rep : fleet[0]) rep.start();
+    std::printf("chaos: restarted shard 0 on ports %d, %d\n",
+                fleet[0][0].port, fleet[0][1].port);
+    std::fflush(stdout);
+  });
+  for (auto& t : senders) t.join();
+  chaos.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  // Rejoin proof: the restarted primary answers /healthz and serves a
+  // shard-0-owned key, byte-identical to the reference, straight from a
+  // fresh (cold) service.
+  bool rejoined = false;
+  std::size_t owned_by_0 = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (client.shard_for(keys[i]) == 0) {
+      owned_by_0 = i;
+      break;
+    }
+  }
+  try {
+    net::HttpConnection probe({"127.0.0.1", fleet[0][0].port}, copts);
+    net::HttpMessage health;
+    health.method = "GET";
+    health.target = "/healthz";
+    net::HttpMessage hresp = probe.request(health);
+    net::HttpMessage post;
+    post.method = "POST";
+    post.target = "/plan";
+    post.body = bodies[owned_by_0];
+    net::HttpMessage presp = probe.request(post);
+    rejoined = hresp.status == 200 && presp.status == 200 &&
+               presp.body == reference[owned_by_0];
+  } catch (const std::exception&) {
+    rejoined = false;
+  }
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const double p50 = percentile(all, 0.50);
+  const double p95 = percentile(all, 0.95);
+  const double p99 = percentile(all, 0.99);
+
+  const net::ClientStats cs = client.stats();
+  const std::uint64_t breaker_opens =
+      obs::registry().counter("net.client.breaker_open")->value();
+  const std::uint64_t shed_by_class =
+      obs::registry().counter("service.admission.shed_by_class")->value();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"requests", std::to_string(all.size())});
+  table.add_row({"throughput req/s",
+                 util::fmt("%.1f", static_cast<double>(all.size()) / wall_s)});
+  table.add_row({"latency p50 ms", util::fmt("%.2f", p50)});
+  table.add_row({"latency p95 ms", util::fmt("%.2f", p95)});
+  table.add_row({"latency p99 ms", util::fmt("%.2f", p99)});
+  table.add_row({"p99 SLO ms", util::fmt("%.0f", slo_ms)});
+  table.add_row({"errors", std::to_string(errors.load())});
+  table.add_row({"byte mismatches", std::to_string(mismatches.load())});
+  table.add_row({"client failovers", std::to_string(cs.failovers)});
+  table.add_row({"non-owner sends", std::to_string(cs.nonowner_sends)});
+  table.add_row({"breaker skips", std::to_string(cs.breaker_skips)});
+  table.add_row({"breaker opens", std::to_string(breaker_opens)});
+  table.add_row({"failover-served responses",
+                 std::to_string(failover_served.load())});
+  table.add_row({"shed by class", std::to_string(shed_by_class)});
+  table.print(std::cout);
+  std::cout << "\n";
+
+  // Stable one-line facts CI greps (chaos-smoke).
+  std::printf("chaos: errors %d\n", errors.load());
+  std::printf("chaos: failovers %llu\n",
+              static_cast<unsigned long long>(cs.failovers));
+  if (rejoined) std::printf("chaos: restarted shard rejoined and served\n");
+
+  bench::BenchReporter reporter("service_chaos");
+  reporter.add("requests", static_cast<double>(all.size()));
+  reporter.add("errors", errors.load());
+  reporter.add("byte_mismatches", mismatches.load());
+  reporter.add("failovers", static_cast<double>(cs.failovers));
+  reporter.add("nonowner_sends", static_cast<double>(cs.nonowner_sends));
+  reporter.add("breaker_opens", static_cast<double>(breaker_opens));
+  reporter.add("failover_served", failover_served.load());
+  reporter.add("latency_p50_ms", p50);
+  reporter.add("latency_p95_ms", p95);
+  reporter.add("latency_p99_ms", p99);
+  reporter.add("p99_slo_ms", slo_ms);
+  reporter.note("mix", "2 shards x 2 replicas, shard 0 killed+restarted "
+                       "mid-run, open-loop 200 req/s under net faults");
+
+  for (auto& slot : fleet)
+    for (ShardReplica& rep : slot) rep.stop();
+
+  bool ok = true;
+  if (errors.load() > 0) {
+    std::cerr << "FAIL: " << errors.load() << " client-visible errors\n";
+    ok = false;
+  }
+  if (mismatches.load() > 0) {
+    std::cerr << "FAIL: " << mismatches.load()
+              << " responses differed from the healthy-fleet reference\n";
+    ok = false;
+  }
+  if (cs.failovers == 0) {
+    std::cerr << "FAIL: no client failovers — the kill was not felt\n";
+    ok = false;
+  }
+  if (p99 > slo_ms) {
+    std::cerr << "FAIL: p99 " << util::fmt("%.2f", p99) << " ms above the "
+              << util::fmt("%.0f", slo_ms) << " ms SLO\n";
+    ok = false;
+  }
+  if (!rejoined) {
+    std::cerr << "FAIL: restarted shard did not rejoin and serve\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tap;
+  if (argc > 1 && std::strcmp(argv[1], "--chaos") == 0) return run_chaos();
   bench::header("Plan-serving tier under Zipf-skewed closed-loop load",
                 "networked serving (ISSUE 7)");
 

@@ -55,9 +55,14 @@
 //                                             in-process: route this
 //                                             request through net::PlanClient
 //                                             to the tap_serve shard owning
-//                                             its PlanKey (one URL per
-//                                             shard id; --explain fetches
-//                                             the server-side report)
+//                                             its PlanKey (one slot per
+//                                             shard id, "|"-separated
+//                                             replica URLs per slot;
+//                                             --explain fetches the
+//                                             server-side report).
+//                                             "@FILE" loads the slots from
+//                                             a fleet manifest written by
+//                                             sbin/start-shards.sh
 //           [--plan-json FILE|-]              write the canonical plan-
 //                                             response JSON (service/wire.h).
 //                                             Offline it is built in
@@ -79,6 +84,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/pipeline.h"
 #include "core/serialize.h"
@@ -322,6 +328,32 @@ std::vector<std::string> split_urls(const std::string& csv) {
   return urls;
 }
 
+/// --serve-url accepts either a comma-separated shard-slot list (each
+/// slot optionally "url|url|..." replicas) or "@FILE", a fleet manifest
+/// written by sbin/start-shards.sh: one line per shard slot in shard-id
+/// order, '#' comments and blank lines ignored. Throws std::runtime_error
+/// on an unreadable manifest (the serve paths already report-and-exit on
+/// exceptions).
+std::vector<std::string> load_urls(const std::string& arg) {
+  if (arg.empty() || arg[0] != '@') return split_urls(arg);
+  const std::string path = arg.substr(1);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read fleet manifest " + path);
+  std::vector<std::string> urls;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    urls.push_back(line.substr(first, last - first + 1));
+  }
+  if (urls.empty())
+    throw std::runtime_error("fleet manifest " + path + " lists no shards");
+  return urls;
+}
+
 /// "/explain?model=t5&layers=2&..." for the owning shard.
 std::string explain_target(const tap::service::ModelSpec& spec) {
   std::string t = "/explain?model=" + spec.model;
@@ -411,7 +443,7 @@ int main(int argc, char** argv) {
       // planner pass spans all correlate under one trace id.
       const obs::RequestContext rctx = obs::generate_request_context();
       obs::ScopedRequestContext rscope(rctx);
-      net::PlanClient client(split_urls(args.serve_url));
+      net::PlanClient client(load_urls(args.serve_url));
       net::HttpMessage resp =
           client.post_plan(key, service::model_spec_to_json(spec));
       std::printf("trace: %s\n", obs::format_traceparent(rctx).c_str());
@@ -584,7 +616,7 @@ int main(int argc, char** argv) {
     if (!args.diff_baseline.empty())
       std::cerr << "--diff-baseline is ignored with --serve-url\n";
     try {
-      net::PlanClient client(split_urls(args.serve_url));
+      net::PlanClient client(load_urls(args.serve_url));
       net::HttpMessage resp =
           client.get(client.shard_for(wire_key), explain_target(spec));
       if (resp.status != 200) {

@@ -12,6 +12,12 @@
 //             [--request-threads N]            PlannerService workers
 //             [--conn-threads N]               HTTP connection workers
 //             [--max-pending N]                load-shed bound (0 = off)
+//             [--batch-admission F]            deadline-class admission:
+//                                              batch traffic (no/relaxed
+//                                              deadline) admitted up to
+//                                              F * max-pending in-flight
+//                                              searches (default 1.0 =
+//                                              classless shedding)
 //             [--drain-ms MS]                  SIGTERM drain budget
 //             [--incremental on|off]           graph-delta warm starts for
 //                                              cache-missing searches
@@ -39,6 +45,7 @@
 //   tap_serve: listening on 127.0.0.1:PORT (shard K/N)
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -68,6 +75,7 @@ struct Args {
   int request_threads = 0;
   int conn_threads = 8;
   std::int64_t max_pending = 0;
+  double batch_admission = 1.0;
   std::int64_t drain_ms = 5000;
   bool incremental = true;
   std::string access_log;
@@ -127,6 +135,17 @@ bool parse(int argc, char** argv, Args* a) {
       if (!as_i32(&a->conn_threads)) return false;
     } else if (!std::strcmp(f, "--max-pending")) {
       if (!as_int(&a->max_pending)) return false;
+    } else if (!std::strcmp(f, "--batch-admission")) {
+      const char* v = value();
+      char* end = nullptr;
+      const double frac = v != nullptr ? std::strtod(v, &end) : 0.0;
+      if (v == nullptr || end == v || *end != '\0' || frac <= 0.0 ||
+          frac > 1.0) {
+        std::cerr << "bad or missing value for --batch-admission "
+                     "(want 0 < F <= 1)\n";
+        return false;
+      }
+      a->batch_admission = frac;
     } else if (!std::strcmp(f, "--drain-ms")) {
       if (!as_int(&a->drain_ms)) return false;
     } else if (!std::strcmp(f, "--access-log")) {
@@ -182,6 +201,7 @@ int main(int argc, char** argv) {
   sopts.cache.disk_dir = args.cache_dir;
   sopts.request_threads = args.request_threads;
   sopts.max_pending = static_cast<std::size_t>(args.max_pending);
+  sopts.batch_admission = args.batch_admission;
   sopts.incremental = args.incremental;
   service::PlannerService svc(sopts);
 
@@ -249,6 +269,13 @@ int main(int argc, char** argv) {
     std::printf("tap_serve: access log: %llu lines\n",
                 static_cast<unsigned long long>(access_log->lines()));
   }
+  std::printf("tap_serve: fault tolerance: %llu failover-served, "
+              "%llu shed by class\n",
+              static_cast<unsigned long long>(
+                  obs::registry()
+                      .counter("net.plan.failover_served")
+                      ->value()),
+              static_cast<unsigned long long>(ss.shed_by_class));
   std::printf("tap_serve: served %llu requests (%llu plans, %llu cache "
               "hits, %llu coalesced, %llu incremental, %llu shed); "
               "exiting 0\n",

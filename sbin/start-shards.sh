@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# start-shards.sh N [extra tap_serve flags...]
+#
+# Launches an N-shard tap_serve fleet on ephemeral ports and writes a
+# fleet manifest that tap_cli consumes directly:
+#
+#   sbin/start-shards.sh 2 --max-pending 64 --batch-admission 0.5
+#   build/examples/tap_cli plan --model t5 ... \
+#       --serve-url @"${TAP_FLEET_DIR:-/tmp/tap-fleet}/manifest.txt"
+#   sbin/stop-shards.sh
+#
+# Environment:
+#   TAP_SERVE_BIN  tap_serve binary   (default build/examples/tap_serve)
+#   TAP_FLEET_DIR  run directory for manifest/logs/pidfiles
+#                                     (default /tmp/tap-fleet)
+#
+# The run directory gets, per shard k: shard-k.log, shard-k.pid, and a
+# manifest.txt with one URL per line in shard order (line k = shard k),
+# '#' comments allowed — the exact format net::PlanClient's @FILE loader
+# reads. Replicas of the same slot can be added by hand with '|'.
+set -euo pipefail
+
+N="${1:-}"
+if ! [[ "$N" =~ ^[0-9]+$ ]] || [ "$N" -lt 1 ]; then
+  echo "usage: $0 N [extra tap_serve flags...]" >&2
+  exit 2
+fi
+shift
+
+TAP_SERVE_BIN="${TAP_SERVE_BIN:-build/examples/tap_serve}"
+RUN_DIR="${TAP_FLEET_DIR:-/tmp/tap-fleet}"
+if [ ! -x "$TAP_SERVE_BIN" ]; then
+  echo "start-shards: no tap_serve binary at $TAP_SERVE_BIN" \
+       "(set TAP_SERVE_BIN or build first)" >&2
+  exit 1
+fi
+mkdir -p "$RUN_DIR"
+
+MANIFEST="$RUN_DIR/manifest.txt"
+{
+  echo "# tap fleet manifest — one shard slot per line, shard order"
+  echo "# started $(date -u +%Y-%m-%dT%H:%M:%SZ) with $N shard(s)"
+} > "$MANIFEST"
+
+for ((k = 0; k < N; ++k)); do
+  LOG="$RUN_DIR/shard-$k.log"
+  "$TAP_SERVE_BIN" --port 0 --shards "$N" --shard-id "$k" "$@" \
+      > "$LOG" 2>&1 &
+  echo $! > "$RUN_DIR/shard-$k.pid"
+done
+
+# Each shard prints exactly one parseable startup line:
+#   tap_serve: listening on HOST:PORT (shard K/N)
+for ((k = 0; k < N; ++k)); do
+  LOG="$RUN_DIR/shard-$k.log"
+  PID="$(cat "$RUN_DIR/shard-$k.pid")"
+  for ((tries = 0; tries < 100; ++tries)); do
+    if grep -q "listening on" "$LOG" 2>/dev/null; then break; fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+      echo "start-shards: shard $k died at startup; log follows" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  ADDR="$(sed -n 's/^tap_serve: listening on \([^ ]*\).*/\1/p' "$LOG" \
+          | head -1)"
+  if [ -z "$ADDR" ]; then
+    echo "start-shards: shard $k never reported its port" >&2
+    exit 1
+  fi
+  echo "http://$ADDR" >> "$MANIFEST"
+  echo "start-shards: shard $k/$N up at http://$ADDR (pid $PID)"
+done
+
+echo "start-shards: manifest at $MANIFEST"

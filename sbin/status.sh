@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# status.sh — probe every fleet endpoint in the manifest via GET /healthz.
+#
+# Reads the manifest written by start-shards.sh ('#' comments skipped;
+# '|'-separated replicas within a slot are probed individually) and
+# exits nonzero if any endpoint is unhealthy — the same view a
+# net::PlanClient replica set has of the fleet.
+#
+#   TAP_FLEET_DIR  run directory (default /tmp/tap-fleet)
+set -u
+
+RUN_DIR="${TAP_FLEET_DIR:-/tmp/tap-fleet}"
+MANIFEST="${1:-$RUN_DIR/manifest.txt}"
+if [ ! -f "$MANIFEST" ]; then
+  echo "status: no manifest at $MANIFEST (fleet not running?)" >&2
+  exit 1
+fi
+
+rc=0
+slot=0
+while IFS= read -r line; do
+  line="${line%%#*}"
+  line="$(echo "$line" | tr -d '[:space:]')"
+  [ -z "$line" ] && continue
+  IFS='|' read -ra REPLICAS <<< "$line"
+  for url in "${REPLICAS[@]}"; do
+    if curl -fsS --max-time 2 "$url/healthz" > /dev/null 2>&1; then
+      echo "status: shard $slot $url healthy"
+    else
+      echo "status: shard $slot $url UNHEALTHY" >&2
+      rc=1
+    fi
+  done
+  slot=$((slot + 1))
+done < "$MANIFEST"
+exit $rc

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# stop-shards.sh — SIGTERM-drain the fleet started by start-shards.sh.
+#
+# Sends SIGTERM to every pidfile'd shard, waits for each to exit, and
+# reports whether it drained cleanly (tap_serve prints "exiting 0" at
+# the end of a graceful drain). Exits nonzero if any shard had to be
+# declared dead or did not drain.
+#
+#   TAP_FLEET_DIR  run directory (default /tmp/tap-fleet)
+set -u
+
+RUN_DIR="${TAP_FLEET_DIR:-/tmp/tap-fleet}"
+shopt -s nullglob
+PIDFILES=("$RUN_DIR"/shard-*.pid)
+if [ ${#PIDFILES[@]} -eq 0 ]; then
+  echo "stop-shards: nothing to stop in $RUN_DIR"
+  exit 0
+fi
+
+rc=0
+for PIDFILE in "${PIDFILES[@]}"; do
+  K="$(basename "$PIDFILE" .pid)"
+  PID="$(cat "$PIDFILE")"
+  LOG="$RUN_DIR/$K.log"
+  if kill -0 "$PID" 2>/dev/null; then
+    kill -TERM "$PID" 2>/dev/null
+    # Drain budget: tap_serve's own --drain-ms plus slack.
+    for ((tries = 0; tries < 200; ++tries)); do
+      kill -0 "$PID" 2>/dev/null || break
+      sleep 0.1
+    done
+    if kill -0 "$PID" 2>/dev/null; then
+      echo "stop-shards: $K (pid $PID) ignored SIGTERM; killing" >&2
+      kill -KILL "$PID" 2>/dev/null
+      rc=1
+    fi
+  fi
+  if grep -q "exiting 0" "$LOG" 2>/dev/null; then
+    echo "stop-shards: $K drained cleanly"
+  else
+    echo "stop-shards: $K did not report a clean drain (see $LOG)" >&2
+    rc=1
+  fi
+  rm -f "$PIDFILE"
+done
+exit $rc

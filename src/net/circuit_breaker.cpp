@@ -1,0 +1,88 @@
+#include "net/circuit_breaker.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace tap::net {
+
+namespace {
+
+obs::Counter* breaker_open_counter() {
+  static obs::Counter* c =
+      obs::registry().counter("net.client.breaker_open");
+  return c;
+}
+
+}  // namespace
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions opts) : opts_(opts) {
+  TAP_CHECK(opts_.failure_threshold >= 1)
+      << "breaker failure_threshold must be >= 1";
+  TAP_CHECK(opts_.cooldown_ms >= 0.0) << "breaker cooldown_ms must be >= 0";
+}
+
+void CircuitBreaker::open(double now_ms) {
+  state_ = BreakerState::kOpen;
+  opened_at_ms_ = now_ms;
+  ++times_opened_;
+  breaker_open_counter()->add();
+}
+
+bool CircuitBreaker::allow(double now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_ms - opened_at_ms_ >= opts_.cooldown_ms) {
+        // Cooldown over: this caller becomes the single half-open probe.
+        state_ = BreakerState::kHalfOpen;
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lk(mu_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::on_failure(double now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to open with a fresh cooldown.
+    open(now_ms);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // already tripped
+  if (++consecutive_failures_ >= opts_.failure_threshold) open(now_ms);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return times_opened_;
+}
+
+}  // namespace tap::net

@@ -1,0 +1,77 @@
+// net::CircuitBreaker — per-endpoint health gate for the fleet client
+// (ISSUE 10).
+//
+// The classic three-state machine:
+//
+//   closed ──(failure_threshold consecutive failures)──> open
+//   open ──(cooldown_ms elapsed)──> half-open, admitting ONE probe
+//   half-open ──(probe succeeds)──> closed
+//   half-open ──(probe fails)──> open, cooldown restarted
+//
+// A breaker guards one replica endpoint: while open, the PlanClient skips
+// the endpoint without paying a connect timeout, which is what turns a
+// dead replica from a per-request latency tax into a one-time detection
+// cost. Only transport-level failures (connect/send/recv) feed the
+// breaker — any parsed HTTP response, including a 421 or 503, proves the
+// endpoint alive and counts as success.
+//
+// Time is injected: every transition takes the caller's monotonic
+// now-milliseconds, so the state machine is a pure function of its call
+// sequence and the tests drive cooldown expiry with a fake clock instead
+// of sleeping. All methods are thread-safe (one small mutex; the breaker
+// sits on the client's retry path where a failed attempt already cost a
+// syscall).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace tap::net {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+/// Static-storage label ("closed" / "open" / "half-open").
+const char* breaker_state_name(BreakerState s);
+
+struct BreakerOptions {
+  /// Consecutive transport failures that trip closed -> open.
+  int failure_threshold = 3;
+  /// Time in the open state before one half-open probe is admitted.
+  double cooldown_ms = 1000.0;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions opts = {});
+
+  /// May the caller attempt a request now? Closed: yes. Open: yes exactly
+  /// once after the cooldown elapses (the call transitions to half-open
+  /// and the caller becomes the probe), otherwise no. Half-open: no — a
+  /// probe is already in flight.
+  bool allow(double now_ms);
+
+  /// A request on this endpoint completed at the transport level
+  /// (any HTTP status). Closes the breaker and resets the failure count.
+  void on_success();
+
+  /// A transport-level failure. In closed, counts toward the threshold;
+  /// in half-open (the probe failed), re-opens with a fresh cooldown.
+  void on_failure(double now_ms);
+
+  BreakerState state() const;
+  /// Transitions into the open state since construction (exported by the
+  /// client as `net.client.breaker_open`).
+  std::uint64_t times_opened() const;
+
+ private:
+  void open(double now_ms);  ///< callers hold mu_
+
+  BreakerOptions opts_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  double opened_at_ms_ = 0.0;
+  std::uint64_t times_opened_ = 0;
+};
+
+}  // namespace tap::net

@@ -15,6 +15,7 @@
 #include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace tap::net {
@@ -136,6 +137,13 @@ void HttpServer::accept_loop() {
     if (r <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (TAP_FAULT_FAIL("net.accept")) {
+      // Injected accept-time failure: the connection is dropped before a
+      // byte is read, as if the listener reset it — the client's next
+      // read on this connection fails and its retry path reconnects.
+      ::close(fd);
+      continue;
+    }
     metrics().accepted->add();
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_.load(std::memory_order_relaxed) ||
@@ -179,6 +187,12 @@ void HttpServer::worker_loop() {
 }
 
 bool HttpServer::send_all(int fd, const std::string& bytes) {
+  if (TAP_FAULT_FAIL("net.write.reset")) {
+    // Injected mid-write reset: the caller treats it like a peer that
+    // vanished — the connection closes without an answer and the client
+    // must retry (safe: serving answers are pure functions of the key).
+    return false;
+  }
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
@@ -208,6 +222,7 @@ void HttpServer::serve_connection(int fd) {
         break;
       continue;
     }
+    TAP_FAULT_POINT("net.read.stall");  // injected slow-read (delay action)
     const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
     if (n <= 0) break;  // disconnect (possibly mid-body): drop, no answer
     std::size_t off = 0;
@@ -249,6 +264,7 @@ void HttpServer::serve_connection(int fd) {
       const double ms = sw.elapsed_millis();
       metrics().request_ms->observe(ms);
       route_request_ms(target_path(req.target))->observe(ms);
+      TAP_FAULT_POINT("net.respond.delay");  // injected pre-response stall
       if (!send_all(fd, serialize_response(resp)) || !resp.keep_alive) {
         close_conn = true;
         break;

@@ -26,6 +26,11 @@ obs::Counter* retry_counter() {
   return c;
 }
 
+obs::Counter* failover_counter() {
+  static obs::Counter* c = obs::registry().counter("net.client.failover");
+  return c;
+}
+
 timeval timeval_of_ms(double ms) {
   if (ms <= 0) ms = 1.0;
   timeval tv{};
@@ -33,6 +38,24 @@ timeval timeval_of_ms(double ms) {
   tv.tv_usec = static_cast<suseconds_t>(
       (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
   return tv;
+}
+
+void backoff_sleep(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Splits one shard slot entry on '|' into its replica URLs.
+std::vector<std::string> split_replicas(const std::string& slot) {
+  std::vector<std::string> urls;
+  std::size_t start = 0;
+  while (start <= slot.size()) {
+    const std::size_t bar = slot.find('|', start);
+    const std::size_t end = bar == std::string::npos ? slot.size() : bar;
+    if (end > start) urls.push_back(slot.substr(start, end - start));
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return urls;
 }
 
 }  // namespace
@@ -143,17 +166,21 @@ bool HttpConnection::try_request(const HttpMessage& req, HttpMessage* out) {
   return true;
 }
 
-HttpMessage HttpConnection::request(const HttpMessage& req) {
+bool HttpConnection::request_once(const HttpMessage& req, HttpMessage* out) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (try_request(req, out)) return true;
+  close_fd();
+  return false;
+}
+
+HttpMessage HttpConnection::request(const HttpMessage& req) {
   const int attempts = opts_.retries < 1 ? 1 : opts_.retries;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     HttpMessage resp;
-    if (try_request(req, &resp)) return resp;
-    close_fd();
+    if (request_once(req, &resp)) return resp;
     if (attempt == attempts) break;
     retry_counter()->add();
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        attempt * opts_.backoff_ms));
+    backoff_sleep(attempt * opts_.backoff_ms);
   }
   throw HttpClientError("request to " + ep_.host + ":" +
                         std::to_string(ep_.port) + " failed after " +
@@ -162,18 +189,73 @@ HttpMessage HttpConnection::request(const HttpMessage& req) {
 
 PlanClient::PlanClient(std::vector<std::string> shard_urls,
                        ClientOptions opts)
-    : urls_(std::move(shard_urls)),
-      scheme_(static_cast<int>(urls_.size()), opts.scheme) {
-  TAP_CHECK(!urls_.empty()) << "PlanClient needs at least one shard URL";
-  conns_.reserve(urls_.size());
-  for (const std::string& url : urls_) {
-    conns_.push_back(std::make_unique<HttpConnection>(parse_url(url), opts));
+    : scheme_(static_cast<int>(shard_urls.size()), opts.scheme),
+      opts_(std::move(opts)) {
+  TAP_CHECK(!shard_urls.empty()) << "PlanClient needs at least one shard URL";
+  shards_.reserve(shard_urls.size());
+  for (const std::string& slot : shard_urls) {
+    std::vector<Replica> replicas;
+    for (const std::string& url : split_replicas(slot)) {
+      Replica r;
+      r.url = url;
+      r.conn = std::make_unique<HttpConnection>(parse_url(url), opts_);
+      r.breaker = std::make_unique<CircuitBreaker>(opts_.breaker);
+      replicas.push_back(std::move(r));
+    }
+    TAP_CHECK(!replicas.empty())
+        << "shard slot '" << slot << "' has no replica URLs";
+    shards_.push_back(std::move(replicas));
   }
 }
 
-HttpMessage PlanClient::send(int shard, const HttpMessage& req) {
+double PlanClient::now_ms() const {
+  if (opts_.clock) return opts_.clock();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool PlanClient::try_shard(std::size_t shard, const HttpMessage& req,
+                           HttpMessage* out, bool* used_backup) {
+  std::vector<Replica>& replicas = shards_[shard];
+  const int attempts = opts_.retries < 1 ? 1 : opts_.retries;
+  int attempt = 0;
+  int failures = 0;
+  while (attempt < attempts) {
+    bool any_io = false;
+    for (std::size_t r = 0; r < replicas.size() && attempt < attempts; ++r) {
+      Replica& rep = replicas[r];
+      if (!rep.breaker->allow(now_ms())) {
+        breaker_skips_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ++attempt;
+      any_io = true;
+      if (rep.conn->request_once(req, out)) {
+        rep.breaker->on_success();
+        if (r != 0) *used_backup = true;
+        return true;
+      }
+      rep.breaker->on_failure(now_ms());
+      ++failures;
+      if (attempt < attempts) {
+        retry_counter()->add();
+        backoff_sleep(failures * opts_.backoff_ms);
+      }
+    }
+    // A full pass without a single admitted attempt means every replica's
+    // breaker is open — give up immediately (failover decides what next)
+    // instead of sleeping the budget away.
+    if (!any_io) return false;
+  }
+  return false;
+}
+
+HttpMessage PlanClient::send(int shard, const HttpMessage& req,
+                             bool allow_failover) {
   TAP_CHECK(shard >= 0 && shard < num_shards())
       << "shard " << shard << " out of range";
+  requests_.fetch_add(1, std::memory_order_relaxed);
   // Propagate the calling thread's request context (or start a fresh root
   // trace) as a W3C traceparent header, so the shard's flight recorder,
   // access log, and trace spans all correlate with this hop's span.
@@ -185,7 +267,42 @@ HttpMessage PlanClient::send(int shard, const HttpMessage& req) {
   traced.set_header("traceparent", obs::format_traceparent(ctx));
   obs::ScopedSpan span("net.client.request", "net");
   if (ctx.sampled) span.arg("trace", ctx.trace_hex());
-  return conns_[static_cast<std::size_t>(shard)]->request(traced);
+
+  HttpMessage resp;
+  bool used_backup = false;
+  if (try_shard(static_cast<std::size_t>(shard), traced, &resp,
+                &used_backup)) {
+    if (used_backup) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      failover_counter()->add();
+    }
+    return resp;
+  }
+  if (allow_failover && opts_.failover_to_nonowner && num_shards() > 1) {
+    // Degraded path: every replica of the owner is down or breaker-open.
+    // Any shard can serve the key — plan bytes are a pure function of the
+    // PlanKey — so ask the next slots to relax their 421 misroute guard.
+    HttpMessage degraded = traced;
+    degraded.set_header("x-tap-failover", "1");
+    for (int off = 1; off < num_shards(); ++off) {
+      const std::size_t alt = static_cast<std::size_t>(
+          (shard + off) % num_shards());
+      bool ignored = false;
+      if (try_shard(alt, degraded, &resp, &ignored)) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        nonowner_sends_.fetch_add(1, std::memory_order_relaxed);
+        failover_counter()->add();
+        return resp;
+      }
+    }
+  }
+  throw HttpClientError("shard " + std::to_string(shard) + " (" +
+                        url_of(shard) + ") unreachable after " +
+                        std::to_string(opts_.retries < 1 ? 1 : opts_.retries) +
+                        " attempts" +
+                        (allow_failover && num_shards() > 1
+                             ? " and shard failover"
+                             : ""));
 }
 
 HttpMessage PlanClient::post_plan(const service::PlanKey& key,
@@ -194,14 +311,23 @@ HttpMessage PlanClient::post_plan(const service::PlanKey& key,
   req.method = "POST";
   req.target = "/plan";
   req.body = body;
-  return send(scheme_.shard_for(key), req);
+  return send(scheme_.shard_for(key), req, /*allow_failover=*/true);
 }
 
 HttpMessage PlanClient::get(int shard, const std::string& target) {
   HttpMessage req;
   req.method = "GET";
   req.target = target;
-  return send(shard, req);
+  return send(shard, req, /*allow_failover=*/false);
+}
+
+ClientStats PlanClient::stats() const {
+  ClientStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.nonowner_sends = nonowner_sends_.load(std::memory_order_relaxed);
+  s.breaker_skips = breaker_skips_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace tap::net

@@ -1,6 +1,7 @@
 #include "net/plan_handler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,7 @@ struct HandlerMetrics {
   obs::Counter* bad_requests;
   obs::Counter* misrouted;
   obs::Counter* overloaded;
+  obs::Counter* failover_served;
 };
 
 HandlerMetrics& metrics() {
@@ -33,8 +35,25 @@ HandlerMetrics& metrics() {
       obs::registry().counter("net.plan.bad_requests"),
       obs::registry().counter("net.plan.misrouted"),
       obs::registry().counter("net.plan.overloaded"),
+      obs::registry().counter("net.plan.failover_served"),
   };
   return m;
+}
+
+/// Degraded-path marker (ISSUE 10): a client that exhausted every replica
+/// of the owning shard re-sends with this header, asking any live shard
+/// to relax the 421 misroute guard and serve a cold search. Safe because
+/// plan bytes are a pure function of the PlanKey.
+bool is_failover_request(const HttpMessage& req) {
+  const std::string* h = req.find_header("x-tap-failover");
+  return h != nullptr && *h == "1";
+}
+
+/// Retry-After is whole seconds (RFC 9110), rounded up so the hint never
+/// undershoots the service's own suggestion.
+std::string retry_after_seconds(double ms) {
+  const double s = std::ceil(ms / 1000.0);
+  return std::to_string(static_cast<long long>(s < 1.0 ? 1.0 : s));
 }
 
 /// Per-deadline-class latency of POST /plan, labeled so the Prometheus
@@ -236,13 +255,22 @@ HttpMessage PlanHandler::handle_plan(const HttpMessage& req,
   obs::set_record_field(rec.deadline_class, sizeof rec.deadline_class,
                         deadline_class);
   const int owner = scheme_.shard_for(key);
-  if (owner != opts_.shard_id) {
+  const bool failover = owner != opts_.shard_id && is_failover_request(req);
+  if (owner != opts_.shard_id && !failover) {
     metrics().misrouted->add();
     obs::set_record_field(rec.reason, sizeof rec.reason, "misrouted");
     util::JsonValue doc = util::JsonValue::object();
     doc.set("error", util::JsonValue::string("misrouted"));
     doc.set("shard", util::JsonValue::number(owner));
     return make_response(421, "application/json", doc.dump());
+  }
+  if (failover) {
+    // This shard is standing in for a dead owner: serve the (cold) search
+    // and mark the provenance. Determinism keeps the bytes identical to
+    // what the owner would have answered; "failover" stays serving
+    // metadata (header + flight record), never plan bytes.
+    metrics().failover_served->add();
+    obs::set_record_field(rec.reason, sizeof rec.reason, "failover");
   }
   // Re-install the context with the request's deadline class filled in,
   // so the copy the PlannerService captures into its worker carries it.
@@ -272,14 +300,18 @@ HttpMessage PlanHandler::handle_plan(const HttpMessage& req,
       obs::set_record_field(s.name, sizeof s.name, t.pass);
       s.ms = static_cast<float>(t.seconds * 1e3);
     }
-    return make_response(
+    HttpMessage ok = make_response(
         200, "application/json",
         service::plan_response_json(model->tg, key, result));
+    if (failover) ok.set_header("x-tap-served", "failover");
+    return ok;
   } catch (const service::OverloadedError& e) {
     metrics().overloaded->add();
     obs::set_record_field(rec.served, sizeof rec.served, "shed");
     obs::set_record_field(rec.reason, sizeof rec.reason, "overloaded");
-    return error_response(503, e.what());
+    HttpMessage shed = error_response(503, e.what());
+    shed.set_header("retry-after", retry_after_seconds(e.retry_after_ms()));
+    return shed;
   }
 }
 
@@ -319,7 +351,9 @@ HttpMessage PlanHandler::handle_explain(const HttpMessage& req,
     metrics().overloaded->add();
     obs::set_record_field(rec.served, sizeof rec.served, "shed");
     obs::set_record_field(rec.reason, sizeof rec.reason, "overloaded");
-    return error_response(503, e.what());
+    HttpMessage shed = error_response(503, e.what());
+    shed.set_header("retry-after", retry_after_seconds(e.retry_after_ms()));
+    return shed;
   }
 }
 

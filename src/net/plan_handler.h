@@ -4,8 +4,12 @@
 //   POST /plan     ModelSpec JSON -> canonical plan-response JSON
 //                  (service/wire.h). 400 on malformed/unknown specs,
 //                  413 via the parser limits, 421 when the consistent-hash
-//                  scheme says another shard owns the key, 503 when the
-//                  service sheds load.
+//                  scheme says another shard owns the key (relaxed when
+//                  the request carries `X-Tap-Failover: 1` — the client's
+//                  degraded path after the owner's replicas died; the
+//                  non-owner serves a cold search with byte-identical
+//                  output and marks the response `X-Tap-Served: failover`),
+//                  503 + Retry-After when the service sheds load.
 //   GET /explain   ModelSpec as query params -> cached PlanReport JSON.
 //   GET /metrics   Prometheus text (obs::dump_prometheus) — every
 //                  request/latency/shed counter of the tier.

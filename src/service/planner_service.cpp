@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <optional>
 #include <utility>
 
 #include "baselines/expert_plans.h"
+#include "core/plan_context.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
 #include "obs/trace.h"
@@ -29,6 +31,8 @@ struct ServiceMetrics {
       obs::registry().counter("service.deadline_hit");
   obs::Counter* fallback = obs::registry().counter("service.fallback");
   obs::Counter* shed = obs::registry().counter("service.shed");
+  obs::Counter* shed_by_class =
+      obs::registry().counter("service.admission.shed_by_class");
   obs::Counter* incr_attempts =
       obs::registry().counter("service.incremental.attempts");
   obs::Counter* incr_hits =
@@ -341,15 +345,38 @@ std::shared_future<core::TapResult> PlannerService::submit(
     } else {
       // Load shedding happens last: only a request that would START a new
       // search is shed — coalesced duplicates and cache hits cost almost
-      // nothing and are always served.
-      if (opts_.max_pending > 0 && inflight_.size() >= opts_.max_pending) {
-        ++stats_.shed;
-        service_metrics().shed->add(1);
-        if (telem != nullptr) {
-          telem->served = PlanTelemetry::Served::kShed;
-          telem->reason = "overloaded";
+      // nothing and are always served. Admission is by deadline class:
+      // batch traffic ("none"/"relaxed") is held to batch_admission *
+      // max_pending, so under pressure it sheds first while interactive
+      // traffic ("tight"/"standard") still gets the remaining headroom.
+      if (opts_.max_pending > 0) {
+        const char* cls = core::deadline_class_name(req.opts.deadline_ms);
+        const bool batch = std::strcmp(cls, "none") == 0 ||
+                           std::strcmp(cls, "relaxed") == 0;
+        std::size_t bound = opts_.max_pending;
+        if (batch && opts_.batch_admission < 1.0) {
+          const double frac =
+              opts_.batch_admission < 0.0 ? 0.0 : opts_.batch_admission;
+          bound = std::max<std::size_t>(
+              1, static_cast<std::size_t>(
+                     static_cast<double>(opts_.max_pending) * frac));
         }
-        throw OverloadedError(inflight_.size());
+        if (inflight_.size() >= bound) {
+          ++stats_.shed;
+          service_metrics().shed->add(1);
+          if (batch && inflight_.size() < opts_.max_pending) {
+            // Shed by CLASS, not by absolute pressure: an interactive
+            // request arriving at this instant would still be admitted.
+            ++stats_.shed_by_class;
+            service_metrics().shed_by_class->add(1);
+          }
+          if (telem != nullptr) {
+            telem->served = PlanTelemetry::Served::kShed;
+            telem->reason = "overloaded";
+          }
+          throw OverloadedError(inflight_.size(),
+                                opts_.shed_retry_after_ms);
+        }
       }
       fut = prom->get_future().share();
       inflight_.emplace(key, fut);

@@ -63,15 +63,23 @@
 namespace tap::service {
 
 /// Thrown by submit()/plan() when ServiceOptions::max_pending is set and
-/// the service already has that many searches in flight — load shedding
-/// at the front door, so an overload fails fast instead of queueing
-/// unboundedly. Counted in ServiceStats::shed / `service.shed`.
+/// the request's admission bound is reached — load shedding at the front
+/// door, so an overload fails fast instead of queueing unboundedly.
+/// Counted in ServiceStats::shed / `service.shed`; carries the
+/// Retry-After hint the HTTP handler surfaces with its 503.
 class OverloadedError : public std::runtime_error {
  public:
-  explicit OverloadedError(std::size_t pending)
+  explicit OverloadedError(std::size_t pending,
+                           double retry_after_ms = 1000.0)
       : std::runtime_error("PlannerService overloaded: " +
                            std::to_string(pending) +
-                           " searches already pending") {}
+                           " searches already pending"),
+        retry_after_ms_(retry_after_ms) {}
+
+  double retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  double retry_after_ms_;
 };
 
 /// One planning request. The graph is borrowed: the caller must keep it
@@ -135,6 +143,9 @@ struct ServiceStats {
   std::uint64_t fallbacks = 0;
   /// submit() calls rejected with OverloadedError.
   std::uint64_t shed = 0;
+  /// The subset of `shed` rejected by the deadline-class admission policy
+  /// — batch-class requests shed while interactive headroom remained.
+  std::uint64_t shed_by_class = 0;
   /// Incremental replanning: cache-missing searches that probed the
   /// similarity tier for a donor.
   std::uint64_t incremental_attempts = 0;
@@ -173,6 +184,18 @@ struct ServiceOptions {
   /// Coalesced duplicates and cache hits are never shed — only requests
   /// that would start a NEW search count against the bound.
   std::size_t max_pending = 0;
+  /// Deadline-class admission (ISSUE 10): with max_pending set, batch
+  /// traffic (deadline class "none"/"relaxed") is admitted only up to
+  /// batch_admission * max_pending in-flight searches, reserving the
+  /// remaining headroom for interactive classes ("tight"/"standard") —
+  /// under pressure, batch sheds first and interactive keeps its slot.
+  /// 1.0 (the default) admits every class up to max_pending, the
+  /// pre-ISSUE-10 policy. Clamped below so at least one batch slot
+  /// always exists.
+  double batch_admission = 1.0;
+  /// Retry-After hint (milliseconds) carried by OverloadedError; the
+  /// HTTP handler rounds it up to whole seconds for the 503 header.
+  double shed_retry_after_ms = 1000.0;
 };
 
 /// Thread-safe Fingerprint -> FamilySearchOutcome map, mutex-striped like

@@ -10,6 +10,16 @@
 // e.g. "cache.disk.read=throw:0.5,service.search=delay:10:0.25".
 // P defaults to 1.
 //
+// Serving-tier network sites (ISSUE 10) live in net/http_server.cpp and
+// model the failure modes the fleet client must survive:
+//   net.accept         fail  — accepted connection dropped before a read
+//   net.read.stall     delay — slow read before recv()
+//   net.write.reset    fail  — response write fails, connection dies
+//   net.respond.delay  delay — stall between handling and responding
+// All four are `fail`/`delay` sites: the server never throws for an
+// injected network fault, it degrades exactly like it would for a real
+// peer reset, and the client's retry/failover machinery absorbs it.
+//
 // Decisions are seeded and site-keyed: the k-th hit of a site injects iff
 // hash(seed, site, k) < P, so a (spec, seed) pair replays the same
 // injection sequence per site on every run — the fault-injection tests
